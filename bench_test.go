@@ -1,0 +1,360 @@
+// Package bopsim_test holds the benchmark harness: one testing.B benchmark
+// per table and figure of the paper (regenerating a representative slice of
+// it and reporting the figure's metric via b.ReportMetric), the ablation
+// benches called out in DESIGN.md, and micro-benchmarks of the core data
+// structures. cmd/experiments regenerates the *full* figures; these benches
+// exist so `go test -bench` exercises every experiment end to end.
+package bopsim_test
+
+import (
+	"testing"
+
+	"bopsim/internal/core"
+	"bopsim/internal/dram"
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+	"bopsim/internal/sbp"
+	"bopsim/internal/sim"
+	"bopsim/internal/stats"
+	"bopsim/internal/trace"
+)
+
+// benchInstructions keeps each simulation slice small enough for -bench
+// runs while leaving several BO learning phases per run.
+const benchInstructions = 150_000
+
+func baseOpts(workload string, cores int, page mem.PageSize) sim.Options {
+	o := sim.DefaultOptions(workload)
+	o.Cores = cores
+	o.Page = page
+	o.Instructions = benchInstructions
+	return o
+}
+
+// runPair runs baseline and variant once per iteration and reports the
+// variant/baseline IPC ratio (the figure's metric).
+func runPair(b *testing.B, base sim.Options, variant func(sim.Options) sim.Options) {
+	b.Helper()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rBase := sim.MustRun(base)
+		rVar := sim.MustRun(variant(base))
+		speedup = rVar.IPC / rBase.IPC
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// --- Table 1 / Table 2: configuration construction costs -----------------
+
+func BenchmarkTable1BaselineRun(b *testing.B) {
+	// One full baseline simulation (Table 1's microarchitecture end to
+	// end); the metric is simulated instructions per wall-clock second.
+	o := baseOpts("403.gcc", 1, mem.Page4K)
+	for i := 0; i < b.N; i++ {
+		sim.MustRun(o)
+	}
+	b.ReportMetric(float64(benchInstructions)*float64(b.N)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+func BenchmarkTable2BOConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.New(mem.Page4K, core.DefaultParams())
+	}
+}
+
+// --- Figures --------------------------------------------------------------
+
+// BenchmarkFig2BaselineIPC measures a baseline configuration (the quantity
+// Figure 2 plots) on a memory-bound and a compute-bound workload.
+func BenchmarkFig2BaselineIPC(b *testing.B) {
+	var ipc float64
+	for i := 0; i < b.N; i++ {
+		ipc = sim.MustRun(baseOpts("462.libquantum", 1, mem.Page4K)).IPC
+	}
+	b.ReportMetric(ipc, "IPC")
+}
+
+func BenchmarkFig3LRUvs5P(b *testing.B) {
+	runPair(b, baseOpts("473.astar", 1, mem.Page4K), func(o sim.Options) sim.Options {
+		o.L3Policy = "LRU"
+		return o
+	})
+}
+
+func BenchmarkFig3DRRIPvs5P(b *testing.B) {
+	runPair(b, baseOpts("473.astar", 1, mem.Page4K), func(o sim.Options) sim.Options {
+		o.L3Policy = "DRRIP"
+		return o
+	})
+}
+
+func BenchmarkFig4NoStridePF(b *testing.B) {
+	runPair(b, baseOpts("465.tonto", 1, mem.Page4M), func(o sim.Options) sim.Options {
+		o.StridePF = false
+		return o
+	})
+}
+
+func BenchmarkFig5NoL2PF(b *testing.B) {
+	runPair(b, baseOpts("462.libquantum", 1, mem.Page4K), func(o sim.Options) sim.Options {
+		o.L2PF = sim.PFNone
+		return o
+	})
+}
+
+func BenchmarkFig6BOvsNextLine(b *testing.B) {
+	runPair(b, baseOpts("433.milc", 1, mem.Page4M), func(o sim.Options) sim.Options {
+		o.L2PF = sim.PFBO
+		return o
+	})
+}
+
+func BenchmarkFig7FixedOffset5(b *testing.B) {
+	runPair(b, baseOpts("437.leslie3d", 1, mem.Page4K), func(o sim.Options) sim.Options {
+		o.L2PF = sim.PFOffset
+		o.FixedOffset = 5
+		return o
+	})
+}
+
+func BenchmarkFig8OffsetSweepPoint(b *testing.B) {
+	// One sweep point of Figure 8: offset 32 on the milc stand-in (a peak).
+	runPair(b, baseOpts("433.milc", 1, mem.Page4M), func(o sim.Options) sim.Options {
+		o.L2PF = sim.PFOffset
+		o.FixedOffset = 32
+		return o
+	})
+}
+
+func BenchmarkFig9BadScore10(b *testing.B) {
+	runPair(b, baseOpts("429.mcf", 1, mem.Page4K), func(o sim.Options) sim.Options {
+		o.L2PF = sim.PFBO
+		p := core.DefaultParams()
+		p.BadScore = 10
+		o.BOParams = &p
+		return o
+	})
+}
+
+func BenchmarkFig10RR32(b *testing.B) {
+	runPair(b, baseOpts("429.mcf", 1, mem.Page4K), func(o sim.Options) sim.Options {
+		o.L2PF = sim.PFBO
+		p := core.DefaultParams()
+		p.RREntries = 32
+		o.BOParams = &p
+		return o
+	})
+}
+
+func BenchmarkFig11SBPvsBaseline(b *testing.B) {
+	runPair(b, baseOpts("462.libquantum", 1, mem.Page4M), func(o sim.Options) sim.Options {
+		o.L2PF = sim.PFSBP
+		return o
+	})
+}
+
+func BenchmarkFig12BOvsSBP(b *testing.B) {
+	var speedup float64
+	base := baseOpts("433.milc", 1, mem.Page4M)
+	for i := 0; i < b.N; i++ {
+		oSBP := base
+		oSBP.L2PF = sim.PFSBP
+		oBO := base
+		oBO.L2PF = sim.PFBO
+		speedup = sim.MustRun(oBO).IPC / sim.MustRun(oSBP).IPC
+	}
+	b.ReportMetric(speedup, "BO/SBP")
+}
+
+func BenchmarkFig13DRAMTraffic(b *testing.B) {
+	var perKI float64
+	o := baseOpts("470.lbm", 1, mem.Page4K)
+	o.L2PF = sim.PFBO
+	for i := 0; i < b.N; i++ {
+		perKI = sim.MustRun(o).DRAMAccessesPerKI
+	}
+	b.ReportMetric(perKI, "DRAM-acc/KI")
+}
+
+// --- Ablations (DESIGN.md section 4) ---------------------------------------
+
+// BenchmarkAblationRRAtIssue removes the timeliness information by writing
+// the RR table at prefetch issue instead of completion; the learned offsets
+// collapse toward small values and the speedup should drop versus stock BO.
+func BenchmarkAblationRRAtIssue(b *testing.B) {
+	var ratio float64
+	base := baseOpts("462.libquantum", 1, mem.Page4M)
+	for i := 0; i < b.N; i++ {
+		stock := base
+		stock.L2PF = sim.PFBO
+		abl := base
+		abl.L2PF = sim.PFBO
+		p := core.DefaultParams()
+		p.InsertRRAtIssue = true
+		abl.BOParams = &p
+		ratio = sim.MustRun(abl).IPC / sim.MustRun(stock).IPC
+	}
+	b.ReportMetric(ratio, "ablated/stock")
+}
+
+func BenchmarkAblationNoPrefetchBit(b *testing.B) {
+	var ratio float64
+	base := baseOpts("433.milc", 1, mem.Page4M)
+	for i := 0; i < b.N; i++ {
+		stock := base
+		stock.L2PF = sim.PFBO
+		abl := base
+		abl.L2PF = sim.PFBO
+		p := core.DefaultParams()
+		p.TriggerOnAllAccesses = true
+		abl.BOParams = &p
+		ratio = sim.MustRun(abl).IPC / sim.MustRun(stock).IPC
+	}
+	b.ReportMetric(ratio, "ablated/stock")
+}
+
+func BenchmarkAblationDenseList(b *testing.B) {
+	var ratio float64
+	base := baseOpts("433.milc", 1, mem.Page4M)
+	for i := 0; i < b.N; i++ {
+		stock := base
+		stock.L2PF = sim.PFBO
+		abl := base
+		abl.L2PF = sim.PFBO
+		p := core.DefaultParams()
+		p.Offsets = prefetch.DenseOffsetList(64)
+		abl.BOParams = &p
+		ratio = sim.MustRun(abl).IPC / sim.MustRun(stock).IPC
+	}
+	b.ReportMetric(ratio, "ablated/stock")
+}
+
+func BenchmarkAblationNoPromotion(b *testing.B) {
+	var ratio float64
+	base := baseOpts("462.libquantum", 1, mem.Page4K)
+	for i := 0; i < b.N; i++ {
+		stock := base
+		stock.L2PF = sim.PFBO
+		abl := stock
+		abl.LatePromote = false
+		ratio = sim.MustRun(abl).IPC / sim.MustRun(stock).IPC
+	}
+	b.ReportMetric(ratio, "ablated/stock")
+}
+
+// --- Extensions (discussed in the paper, not evaluated there) ---------------
+
+// BenchmarkExtensionDegreeTwo measures the degree-2 BO variant of
+// section 4.3 against stock degree-1 BO.
+func BenchmarkExtensionDegreeTwo(b *testing.B) {
+	var ratio float64
+	base := baseOpts("471.omnetpp", 1, mem.Page4K)
+	for i := 0; i < b.N; i++ {
+		stock := base
+		stock.L2PF = sim.PFBO
+		ext := base
+		ext.L2PF = sim.PFBO
+		p := core.DegreeTwoParams()
+		ext.BOParams = &p
+		ratio = sim.MustRun(ext).IPC / sim.MustRun(stock).IPC
+	}
+	b.ReportMetric(ratio, "degree2/stock")
+}
+
+// BenchmarkExtensionNegativeOffsets measures BO with the candidate list
+// extended to negative offsets (section 4.2).
+func BenchmarkExtensionNegativeOffsets(b *testing.B) {
+	var ratio float64
+	base := baseOpts("433.milc", 1, mem.Page4M)
+	for i := 0; i < b.N; i++ {
+		stock := base
+		stock.L2PF = sim.PFBO
+		ext := base
+		ext.L2PF = sim.PFBO
+		p := core.DefaultParams()
+		p.Offsets = core.WithNegativeOffsets(p.Offsets)
+		ext.BOParams = &p
+		ratio = sim.MustRun(ext).IPC / sim.MustRun(stock).IPC
+	}
+	b.ReportMetric(ratio, "negatives/stock")
+}
+
+// BenchmarkExtensionAdaptiveThrottle measures the dynamic-BADSCORE
+// heuristic (section 7's future-work item) on the throttling-sensitive mcf
+// stand-in.
+func BenchmarkExtensionAdaptiveThrottle(b *testing.B) {
+	var ratio float64
+	base := baseOpts("429.mcf", 1, mem.Page4K)
+	for i := 0; i < b.N; i++ {
+		stock := base
+		stock.L2PF = sim.PFBO
+		ext := base
+		ext.L2PF = sim.PFBO
+		p := core.AdaptiveThrottleParams()
+		ext.BOParams = &p
+		ratio = sim.MustRun(ext).IPC / sim.MustRun(stock).IPC
+	}
+	b.ReportMetric(ratio, "adaptive/stock")
+}
+
+// --- Micro-benchmarks -------------------------------------------------------
+
+func BenchmarkRRTableInsertHit(b *testing.B) {
+	rr := core.NewRRTable(256, 12)
+	for i := 0; i < b.N; i++ {
+		rr.Insert(mem.LineAddr(i))
+		rr.Hit(mem.LineAddr(i - 8))
+	}
+}
+
+func BenchmarkBOOnAccess(b *testing.B) {
+	p := core.New(mem.Page4M, core.DefaultParams())
+	for i := 0; i < b.N; i++ {
+		p.OnAccess(prefetch.AccessInfo{Line: mem.LineAddr(i)})
+	}
+}
+
+func BenchmarkSBPOnAccess(b *testing.B) {
+	p := sbp.New(mem.Page4M, sbp.DefaultParams())
+	for i := 0; i < b.N; i++ {
+		p.OnAccess(prefetch.AccessInfo{Line: mem.LineAddr(i)})
+	}
+}
+
+func BenchmarkBloomAddContains(b *testing.B) {
+	f := sbp.NewBloom(2048, 3)
+	for i := 0; i < b.N; i++ {
+		f.Add(mem.LineAddr(i))
+		f.Contains(mem.LineAddr(i - 3))
+	}
+}
+
+func BenchmarkDRAMStream(b *testing.B) {
+	m := dram.New(dram.DefaultParams(1))
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		for m.EnqueueRead(mem.LineAddr(i), 0, dram.Pending()) == nil {
+			m.Tick(now)
+			now++
+		}
+		m.Tick(now)
+		now++
+	}
+}
+
+func BenchmarkWorkloadGen(b *testing.B) {
+	w := trace.MustWorkload("433.milc", 1)
+	for i := 0; i < b.N; i++ {
+		w.Next()
+	}
+}
+
+func BenchmarkGeoMean(b *testing.B) {
+	xs := make([]float64, 29)
+	for i := range xs {
+		xs[i] = 1 + float64(i)/100
+	}
+	for i := 0; i < b.N; i++ {
+		stats.GeoMean(xs)
+	}
+}

@@ -1,0 +1,88 @@
+// Command bosim runs one simulation: a workload on a baseline
+// configuration with a chosen L2 prefetcher, printing IPC and the relevant
+// event counts.
+//
+// Usage:
+//
+//	bosim -workload 462.libquantum -pf bo -page 4MB -cores 1 -n 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/sim"
+	"bopsim/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "462.libquantum", "benchmark stand-in (see -list)")
+		tracePath = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
+		cores     = flag.Int("cores", 1, "active cores (1, 2 or 4)")
+		pageStr   = flag.String("page", "4KB", "page size: 4KB or 4MB")
+		pf        = flag.String("pf", "nextline", "L2 prefetcher: none|nextline|offset|bo|sbp")
+		offset    = flag.Int("offset", 1, "offset for -pf offset")
+		n         = flag.Uint64("n", 500_000, "instructions to retire on core 0")
+		l3        = flag.String("l3", "5P", "L3 replacement policy: 5P|LRU|DRRIP")
+		noStride  = flag.Bool("nostride", false, "disable the DL1 stride prefetcher")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		list      = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range trace.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	page := mem.Page4K
+	switch *pageStr {
+	case "4KB", "4kb":
+	case "4MB", "4mb":
+		page = mem.Page4M
+	default:
+		fmt.Fprintf(os.Stderr, "bosim: unknown page size %q\n", *pageStr)
+		os.Exit(2)
+	}
+
+	o := sim.DefaultOptions(*workload)
+	o.Cores = *cores
+	o.Page = page
+	o.L2PF = sim.PrefetcherKind(*pf)
+	o.FixedOffset = *offset
+	o.L3Policy = *l3
+	o.StridePF = !*noStride
+	o.Instructions = *n
+	o.Seed = *seed
+	o.TracePath = *tracePath
+
+	r, err := sim.Run(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload        %s\n", r.Workload)
+	fmt.Printf("config          %s, L2 prefetcher %s, L3 %s\n", sim.ConfigLabel(*cores, page), *pf, *l3)
+	fmt.Printf("instructions    %d\n", r.Instructions)
+	fmt.Printf("cycles          %d\n", r.Cycles)
+	fmt.Printf("IPC             %.4f\n", r.IPC)
+	fmt.Printf("DRAM acc/KI     %.2f (reads %d, writes %d)\n", r.DRAMAccessesPerKI, r.DRAM.Reads, r.DRAM.Writes)
+	fmt.Printf("DRAM row hits   %d (closed %d, conflicts %d)\n", r.DRAM.RowHits, r.DRAM.RowClosed, r.DRAM.RowConflicts)
+	s := r.Hier
+	fmt.Printf("DL1 hits/misses %d/%d\n", s.DL1Hits, s.DL1Misses)
+	fmt.Printf("L2 pf hits      %d (late promotions %d)\n", s.L2PrefetchedHits, s.PrefLatePromotions)
+	fmt.Printf("L2 pf issued    %d (dup-dropped %d, tag-dropped %d, cancelled %d)\n",
+		s.PrefIssued, s.PrefDroppedDup, s.PrefDroppedTagCheck, s.PrefCancelled)
+	fmt.Printf("DL1 stride pf   %d issued, %d TLB-dropped\n", s.StridePrefIssued, s.StridePrefDroppedTLB)
+	fmt.Printf("TLB walks       %d\n", s.TLBWalks)
+	if r.BO != nil {
+		fmt.Printf("BO              final offset %d, phases %d (off %d), RR insertions %d\n",
+			r.FinalBOOffset, r.BO.Phases, r.BO.PhasesOff, r.BO.RRInsertions)
+	}
+}

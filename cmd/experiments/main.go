@@ -1,0 +1,158 @@
+// Command experiments regenerates the paper's tables and figures as text
+// tables. Each -figN flag runs the simulations that figure needs; -all runs
+// everything. Results within one invocation share a run cache, so running
+// -all is much cheaper than running the figures separately.
+//
+// Usage:
+//
+//	experiments -all -quick            # representative configs, fast
+//	experiments -fig6 -n 500000        # full six configs for Figure 6
+//	experiments -fig8 -benchmarks 433.milc,470.lbm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bopsim/internal/experiments"
+	"bopsim/internal/plot"
+	"bopsim/internal/stats"
+	"bopsim/internal/trace"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "run every table and figure")
+		quick   = flag.Bool("quick", false, "use the representative config subset instead of all six")
+		n       = flag.Uint64("n", 300_000, "instructions per simulation (core 0)")
+		benchCS = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 29)")
+		verbose = flag.Bool("v", false, "log every simulation run")
+
+		table1 = flag.Bool("table1", false, "print Table 1 (baseline microarchitecture)")
+		table2 = flag.Bool("table2", false, "print Table 2 (BO parameters)")
+		doPlot = flag.Bool("plot", false, "render each figure's first column as an ASCII chart")
+		fig    [14]*bool
+	)
+	for i := 2; i <= 13; i++ {
+		fig[i] = flag.Bool(fmt.Sprintf("fig%d", i), false, fmt.Sprintf("regenerate Figure %d", i))
+	}
+	flag.Parse()
+
+	configs := experiments.AllConfigs()
+	if *quick {
+		configs = experiments.QuickConfigs()
+	}
+	r := experiments.NewRunner(*n, configs)
+	if *benchCS != "" {
+		r.Benchmarks = strings.Split(*benchCS, ",")
+	} else if *quick {
+		// Quick mode also trims the workload list to the memory-active
+		// benchmarks plus a few compute-bound representatives.
+		r.Benchmarks = quickBenchmarks()
+	}
+	if *verbose {
+		r.Log = os.Stderr
+	}
+
+	any := *table1 || *table2
+	for i := 2; i <= 13; i++ {
+		any = any || *fig[i]
+	}
+	if !any && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	show := func(tables ...*stats.Table) {
+		for _, tb := range tables {
+			tb.Render(os.Stdout)
+			if *doPlot {
+				c := &plot.Chart{Title: tb.Title + " [" + tb.Columns[0] + "]", Reference: 1.0}
+				for _, row := range tb.Rows() {
+					if v, ok := tb.Value(row, 0); ok {
+						c.Add(row, v)
+					}
+				}
+				c.Render(os.Stdout)
+				fmt.Println()
+			}
+		}
+	}
+	if *all || *table1 {
+		fmt.Print(experiments.Table1())
+		fmt.Println()
+	}
+	if *all || *table2 {
+		fmt.Print(experiments.Table2())
+		fmt.Println()
+	}
+	if *all || *fig[2] {
+		show(r.Fig2())
+	}
+	if *all || *fig[3] {
+		show(r.Fig3()...)
+	}
+	if *all || *fig[4] {
+		show(r.Fig4())
+	}
+	if *all || *fig[5] {
+		show(r.Fig5())
+	}
+	if *all || *fig[6] {
+		show(r.Fig6())
+	}
+	if *all || *fig[7] {
+		show(r.Fig7())
+	}
+	if *all || *fig[8] {
+		offsets := experiments.Fig8Offsets()
+		if *quick {
+			offsets = nil
+			for d := 2; d <= 256; d += 6 {
+				offsets = append(offsets, d)
+			}
+		}
+		show(r.Fig8(offsets))
+	}
+	if *all || *fig[9] {
+		show(r.Fig9())
+	}
+	if *all || *fig[10] {
+		show(r.Fig10())
+	}
+	if *all || *fig[11] {
+		show(r.Fig11())
+	}
+	if *all || *fig[12] {
+		show(r.Fig12())
+	}
+	if *all || *fig[13] {
+		show(r.Fig13())
+	}
+	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start))
+}
+
+// quickBenchmarks is the subset used by -quick: every benchmark the paper's
+// figures single out, plus compute-bound representatives so the GM stays
+// meaningful.
+func quickBenchmarks() []string {
+	want := map[string]bool{
+		"403.gcc": true, "410.bwaves": true, "416.gamess": true,
+		"429.mcf": true, "433.milc": true, "437.leslie3d": true,
+		"450.soplex": true, "456.hmmer": true, "459.GemsFDTD": true,
+		"462.libquantum": true, "465.tonto": true, "470.lbm": true,
+		"471.omnetpp": true, "473.astar": true, "482.sphinx3": true,
+		"483.xalancbmk": true,
+	}
+	var out []string
+	for _, b := range trace.Benchmarks() {
+		if want[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Quickstart: run one memory-bound workload with the baseline next-line L2
+// prefetcher and with the Best-Offset prefetcher, and print the speedup and
+// the offset BO learned. This is the smallest end-to-end use of the
+// simulator API.
+package main
+
+import (
+	"fmt"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/sim"
+)
+
+func main() {
+	base := sim.DefaultOptions("462.libquantum")
+	base.Page = mem.Page4M
+	base.Instructions = 400_000
+
+	nextLine := sim.MustRun(base)
+
+	boOpts := base
+	boOpts.L2PF = sim.PFBO
+	bo := sim.MustRun(boOpts)
+
+	fmt.Printf("workload: %s (%s)\n", base.Workload, sim.ConfigLabel(base.Cores, base.Page))
+	fmt.Printf("next-line prefetcher: IPC %.3f\n", nextLine.IPC)
+	fmt.Printf("Best-Offset:          IPC %.3f (learned offset %d)\n", bo.IPC, bo.FinalBOOffset)
+	fmt.Printf("speedup:              %.3f\n", bo.IPC/nextLine.IPC)
+	fmt.Printf("\nBO learning: %d phases, %d RR insertions, prefetch off in %d phases\n",
+		bo.BO.Phases, bo.BO.RRInsertions, bo.BO.PhasesOff)
+}

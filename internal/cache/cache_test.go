@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bopsim/internal/mem"
+)
+
+func newSmallLRU(t *testing.T, sizeBytes, ways int) *Cache {
+	t.Helper()
+	sets := sizeBytes / mem.LineSize / ways
+	return New("test", sizeBytes, ways, NewLRU(sets, ways))
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := newSmallLRU(t, 4096, 4)
+	c.Insert(100, InsertInfo{})
+	if c.Lookup(100) == nil {
+		t.Fatal("line 100 missing after insert")
+	}
+	if c.Hits != 1 || c.Misses != 0 {
+		t.Errorf("hits=%d misses=%d, want 1/0", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheMissRecorded(t *testing.T) {
+	c := newSmallLRU(t, 4096, 4)
+	if c.Lookup(5) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	if c.Misses != 1 {
+		t.Errorf("misses=%d, want 1", c.Misses)
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	// 2-way cache: fill one set with A and B, touch A, insert C -> B evicted.
+	ways := 2
+	sets := 4
+	c := New("t", sets*ways*mem.LineSize, ways, NewLRU(sets, ways))
+	a := mem.LineAddr(0)        // set 0
+	b := mem.LineAddr(sets)     // set 0
+	d := mem.LineAddr(2 * sets) // set 0
+	c.Insert(a, InsertInfo{})
+	c.Insert(b, InsertInfo{})
+	c.Lookup(a) // make A MRU
+	ev := c.Insert(d, InsertInfo{})
+	if !ev.Valid || ev.Addr != b {
+		t.Errorf("evicted %+v, want line %d", ev, b)
+	}
+	if c.Peek(a) == nil || c.Peek(d) == nil {
+		t.Error("A or D missing after eviction of B")
+	}
+}
+
+func TestPrefetchBitLifecycle(t *testing.T) {
+	c := newSmallLRU(t, 4096, 4)
+	c.Insert(7, InsertInfo{IsPrefetch: true})
+	ln := c.Lookup(7)
+	if ln == nil || !ln.Prefetch {
+		t.Fatal("prefetch bit not set on prefetched insert")
+	}
+	if c.PrefHits != 1 {
+		t.Errorf("PrefHits=%d, want 1", c.PrefHits)
+	}
+	// The L2 access path clears the bit on demand use.
+	ln.Prefetch = false
+	if ln2 := c.Lookup(7); ln2.Prefetch {
+		t.Error("prefetch bit set after demand clear")
+	}
+	if c.PrefHits != 1 {
+		t.Errorf("PrefHits=%d after clear, want still 1", c.PrefHits)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newSmallLRU(t, 4096, 4)
+	c.Insert(9, InsertInfo{})
+	old, ok := c.Invalidate(9)
+	if !ok || old.Addr != 9 {
+		t.Fatalf("Invalidate returned %v %v", old, ok)
+	}
+	if c.Peek(9) != nil {
+		t.Error("line still present after invalidate")
+	}
+	if _, ok := c.Invalidate(9); ok {
+		t.Error("double invalidate reported ok")
+	}
+}
+
+func TestInsertUsesInvalidWaysFirst(t *testing.T) {
+	ways := 4
+	sets := 2
+	c := New("t", sets*ways*mem.LineSize, ways, NewLRU(sets, ways))
+	for i := 0; i < ways; i++ {
+		ev := c.Insert(mem.LineAddr(i*sets), InsertInfo{})
+		if ev.Valid {
+			t.Fatalf("eviction while invalid ways remain (insert %d)", i)
+		}
+	}
+	if ev := c.Insert(mem.LineAddr(ways*sets), InsertInfo{}); !ev.Valid {
+		t.Error("no eviction from a full set")
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two set count did not panic")
+		}
+	}()
+	New("bad", 3*mem.LineSize, 1, NewLRU(3, 1))
+}
+
+// Property: a cache never holds the same line twice, and never exceeds its
+// capacity, under random insert/lookup/invalidate traffic.
+func TestCacheNoDuplicatesProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ways, sets := 4, 8
+		c := New("p", sets*ways*mem.LineSize, ways, NewLRU(sets, ways))
+		live := make(map[mem.LineAddr]bool)
+		for _, op := range ops {
+			l := mem.LineAddr(op % 256)
+			switch op % 3 {
+			case 0:
+				if c.Peek(l) == nil {
+					ev := c.Insert(l, InsertInfo{})
+					if ev.Valid {
+						delete(live, ev.Addr)
+					}
+					live[l] = true
+				}
+			case 1:
+				c.Lookup(l)
+			case 2:
+				if _, ok := c.Invalidate(l); ok {
+					delete(live, l)
+				}
+			}
+			// Count occurrences of l across the whole cache.
+			count := 0
+			for s := 0; s < sets; s++ {
+				for w := 0; w < ways; w++ {
+					if ln := c.line(s, w); ln.Valid && ln.Addr == l {
+						count++
+					}
+				}
+			}
+			if count > 1 {
+				return false
+			}
+		}
+		return len(live) <= sets*ways
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	c := newSmallLRU(t, 4096, 4)
+	c.Insert(1, InsertInfo{})
+	c.Lookup(1)
+	c.Lookup(2)
+	c.Reset()
+	if c.Peek(1) != nil {
+		t.Error("line survived Reset")
+	}
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("stats survived Reset")
+	}
+}

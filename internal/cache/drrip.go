@@ -1,0 +1,109 @@
+package cache
+
+import "bopsim/internal/rng"
+
+// DRRIP implements Dynamic Re-Reference Interval Prediction (Jaleel et al.,
+// ISCA 2010), the second L3 alternative of Figure 3. Each line has a 2-bit
+// re-reference prediction value (RRPV). SRRIP inserts at RRPV=2 ("long");
+// BRRIP inserts at RRPV=3 ("distant") except 1/32 of the time. Set dueling
+// between a few leader sets picks the winner for the follower sets via a
+// PSEL counter.
+type DRRIP struct {
+	rrpv    []uint8
+	sets    int
+	ways    int
+	maxRRPV uint8
+	psel    int
+	pselMax int
+	// leaderMask: 0 = follower, 1 = SRRIP leader, 2 = BRRIP leader.
+	leader []uint8
+	rand   *rng.Stream
+}
+
+// NewDRRIP returns a DRRIP policy with 32 leader sets per flavour (or fewer
+// for small caches), 2-bit RRPVs and a 10-bit PSEL counter.
+func NewDRRIP(sets, ways int, seed uint64) *DRRIP {
+	d := &DRRIP{
+		rrpv:    make([]uint8, sets*ways),
+		sets:    sets,
+		ways:    ways,
+		maxRRPV: 3,
+		pselMax: 1023,
+		psel:    512,
+		leader:  make([]uint8, sets),
+		rand:    rng.New(seed),
+	}
+	for i := range d.rrpv {
+		d.rrpv[i] = d.maxRRPV
+	}
+	// Spread leader sets through the cache: every sets/64-th set alternates
+	// between the two flavours (constituency-style assignment).
+	stride := sets / 64
+	if stride == 0 {
+		stride = 1
+	}
+	flavour := uint8(1)
+	for s := 0; s < sets; s += stride {
+		d.leader[s] = flavour
+		flavour = 3 - flavour // alternate 1,2,1,2...
+	}
+	return d
+}
+
+// Name implements Policy.
+func (d *DRRIP) Name() string { return "DRRIP" }
+
+// OnHit implements Policy: hit promotion to RRPV=0.
+func (d *DRRIP) OnHit(set, way int) { d.rrpv[set*d.ways+way] = 0 }
+
+func (d *DRRIP) useBRRIP(set int) bool {
+	switch d.leader[set] {
+	case 1: // SRRIP leader
+		return false
+	case 2: // BRRIP leader
+		return true
+	default: // follower: PSEL >= midpoint means SRRIP is losing
+		return d.psel >= (d.pselMax+1)/2
+	}
+}
+
+// OnInsert implements Policy.
+func (d *DRRIP) OnInsert(set, way int, _ InsertInfo) {
+	// Leader-set misses steer PSEL: a miss in an SRRIP leader increments
+	// (evidence against SRRIP); a miss in a BRRIP leader decrements.
+	switch d.leader[set] {
+	case 1:
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+	case 2:
+		if d.psel > 0 {
+			d.psel--
+		}
+	}
+	if d.useBRRIP(set) {
+		if d.rand.OneIn(32) {
+			d.rrpv[set*d.ways+way] = d.maxRRPV - 1
+		} else {
+			d.rrpv[set*d.ways+way] = d.maxRRPV
+		}
+	} else {
+		d.rrpv[set*d.ways+way] = d.maxRRPV - 1
+	}
+}
+
+// Victim implements Policy: evict the first way at max RRPV, aging the set
+// until one exists.
+func (d *DRRIP) Victim(set int) int {
+	base := set * d.ways
+	for {
+		for w := 0; w < d.ways; w++ {
+			if d.rrpv[base+w] == d.maxRRPV {
+				return w
+			}
+		}
+		for w := 0; w < d.ways; w++ {
+			d.rrpv[base+w]++
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package cache
+
+import "bopsim/internal/rng"
+
+// FiveP implements the paper's baseline L3 replacement policy "5P"
+// (section 5.2): LRU ordering with five candidate insertion policies chosen
+// by set sampling, DIP-style, generalized to more than two policies with
+// proportional counters:
+//
+//	IP1: MRU insertion (classical LRU replacement)
+//	IP2: bimodal LRU/MRU insertion (BIP)
+//	IP3: MRU insertion if demand miss, otherwise (prefetch) LRU insertion
+//	IP4: MRU insertion if fetched from a core with low miss rate, else LRU
+//	IP5: MRU insertion if demand miss from a low-miss-rate core, else LRU
+//
+// Each constituency of 128 consecutive sets dedicates one leader set to each
+// policy; a per-policy 12-bit proportional counter counts demand-miss
+// insertions into its leader sets, and follower sets use the policy with the
+// lowest counter. Per-core 12-bit proportional counters estimate miss rates:
+// a core's rate is "low" when its counter is below 1/4 of the maximum
+// counter value (IP4/IP5, after Michaud's 3P/4P policies).
+type FiveP struct {
+	state        *lruState
+	policySel    *PropCounters // one counter per insertion policy
+	coreMiss     *PropCounters // one counter per core
+	leader       []int8        // per set: 0..4 = leader for IPi+1, -1 = follower
+	rand         *rng.Stream
+	bipEpsilon   int
+	constituency int
+}
+
+// NumInsertionPolicies is the number of candidate insertion policies in 5P.
+const NumInsertionPolicies = 5
+
+// NewFiveP returns a 5P policy for a cache with the given geometry serving
+// numCores cores.
+func NewFiveP(sets, ways, numCores int, seed uint64) *FiveP {
+	if numCores <= 0 {
+		panic("cache: FiveP needs at least one core")
+	}
+	p := &FiveP{
+		state:        newLRUState(sets, ways),
+		policySel:    NewPropCounters(NumInsertionPolicies, 12),
+		coreMiss:     NewPropCounters(numCores, 12),
+		leader:       make([]int8, sets),
+		rand:         rng.New(seed),
+		bipEpsilon:   32,
+		constituency: 128,
+	}
+	if p.constituency > sets {
+		p.constituency = sets
+	}
+	for s := range p.leader {
+		p.leader[s] = -1
+	}
+	// Within each constituency, spread the five leader sets so they sample
+	// different address regions: set (i*constituency/5) of each group leads
+	// policy IPi+1.
+	for base := 0; base < sets; base += p.constituency {
+		for i := 0; i < NumInsertionPolicies; i++ {
+			idx := base + i*p.constituency/NumInsertionPolicies
+			if idx < sets {
+				p.leader[idx] = int8(i)
+			}
+		}
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *FiveP) Name() string { return "5P" }
+
+// OnHit implements Policy: the hitting block always moves to MRU.
+func (p *FiveP) OnHit(set, way int) { p.state.touchMRU(set, way) }
+
+// NoteFill records that a block fetched on behalf of core was inserted into
+// the L3, updating the per-core miss-rate estimate. The cache hierarchy
+// calls this for every L3 insertion (demand or prefetch).
+func (p *FiveP) NoteFill(core int) {
+	if core >= 0 && core < p.coreMiss.Len() {
+		p.coreMiss.Inc(core)
+	}
+}
+
+// lowMissRate reports whether core currently has a low miss rate: its
+// counter is below 1/4 of the maximum per-core counter value.
+func (p *FiveP) lowMissRate(core int) bool {
+	if core < 0 || core >= p.coreMiss.Len() {
+		return false
+	}
+	return p.coreMiss.Value(core) < p.coreMiss.MaxValue()/4
+}
+
+// policyFor returns which insertion policy (0-based) governs set.
+func (p *FiveP) policyFor(set int) int {
+	if l := p.leader[set]; l >= 0 {
+		return int(l)
+	}
+	return p.policySel.MinIndex()
+}
+
+// mruInsert decides, for insertion policy ip, whether the incoming block is
+// inserted at the MRU position (true) or the LRU position (false).
+func (p *FiveP) mruInsert(ip int, info InsertInfo) bool {
+	demand := !info.IsPrefetch
+	switch ip {
+	case 0: // IP1: always MRU
+		return true
+	case 1: // IP2: BIP
+		return p.rand.OneIn(p.bipEpsilon)
+	case 2: // IP3: MRU iff demand miss
+		return demand
+	case 3: // IP4: MRU iff low-miss-rate core
+		return p.lowMissRate(info.Core)
+	case 4: // IP5: MRU iff demand miss from low-miss-rate core
+		return demand && p.lowMissRate(info.Core)
+	}
+	panic("cache: unknown 5P insertion policy")
+}
+
+// OnInsert implements Policy.
+func (p *FiveP) OnInsert(set, way int, info InsertInfo) {
+	if l := p.leader[set]; l >= 0 && !info.IsPrefetch {
+		// Demand-miss insertion into a leader set: charge that policy.
+		p.policySel.Inc(int(l))
+	}
+	if p.mruInsert(p.policyFor(set), info) {
+		p.state.touchMRU(set, way)
+	} else {
+		p.state.touchLRU(set, way)
+	}
+}
+
+// Victim implements Policy.
+func (p *FiveP) Victim(set int) int { return p.state.victim(set) }

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+)
+
+func miss(line mem.LineAddr) prefetch.AccessInfo {
+	return prefetch.AccessInfo{Line: line, Hit: false}
+}
+
+func TestDefaultParamsMatchTable2(t *testing.T) {
+	p := DefaultParams()
+	if p.RREntries != 256 || p.RRTagBits != 12 || p.ScoreMax != 31 ||
+		p.RoundMax != 100 || p.BadScore != 1 || len(p.Offsets) != 52 {
+		t.Errorf("DefaultParams = %+v does not match Table 2", p)
+	}
+}
+
+func TestStartsAsNextLine(t *testing.T) {
+	p := New(mem.Page4K, DefaultParams())
+	if p.Offset() != 1 || !p.Enabled() {
+		t.Errorf("initial state D=%d on=%v, want 1/true", p.Offset(), p.Enabled())
+	}
+	got := p.OnAccess(miss(10))
+	if len(got) != 1 || got[0] != 11 {
+		t.Errorf("initial prefetch = %v, want [11]", got)
+	}
+}
+
+func TestIneligibleAccessDoesNothing(t *testing.T) {
+	p := New(mem.Page4K, DefaultParams())
+	if got := p.OnAccess(prefetch.AccessInfo{Line: 10, Hit: true}); got != nil {
+		t.Errorf("plain hit triggered prefetch %v", got)
+	}
+	if p.Stats().Issued != 0 {
+		t.Error("plain hit counted as issued")
+	}
+}
+
+func TestPageBoundaryClipping(t *testing.T) {
+	p := New(mem.Page4K, DefaultParams())
+	if got := p.OnAccess(miss(63)); got != nil {
+		t.Errorf("prefetch across 4KB page boundary: %v", got)
+	}
+}
+
+// driveStream feeds the prefetcher a miss stream with the given line stride
+// and simulates prefetch completion after lagFills accesses: each issued
+// prefetch is reported as a fill lag accesses later.
+func driveStream(p *Prefetcher, start, stride mem.LineAddr, n, lag int) {
+	var pendingFills []mem.LineAddr
+	x := start
+	for i := 0; i < n; i++ {
+		targets := p.OnAccess(miss(x))
+		pendingFills = append(pendingFills, targets...)
+		if len(pendingFills) > lag {
+			fill := pendingFills[0]
+			pendingFills = pendingFills[1:]
+			p.OnFill(fill, true)
+		}
+		x += stride
+	}
+}
+
+func TestLearnsOffsetOnStridedStream(t *testing.T) {
+	// A stream touching every 3rd line: good offsets are multiples of 3.
+	params := DefaultParams()
+	p := New(mem.Page4M, params)
+	driveStream(p, 0, 3, 60000, 4)
+	if p.Offset()%3 != 0 {
+		t.Errorf("learned offset %d is not a multiple of 3", p.Offset())
+	}
+	if !p.Enabled() {
+		t.Error("prefetch turned off on a perfectly regular stream")
+	}
+	if p.Stats().Phases == 0 {
+		t.Error("no learning phase completed")
+	}
+}
+
+func TestTimelinessPushesOffsetUp(t *testing.T) {
+	// Sequential stream; prefetch completion lags by 16 accesses. Offsets
+	// <= lag are not yet in the RR table when tested, so the learner must
+	// pick an offset reflecting the lag rather than 1.
+	p := New(mem.Page4M, DefaultParams())
+	driveStream(p, 0, 1, 120000, 16)
+	if p.Offset() < 16 {
+		t.Errorf("learned offset %d; want >= lag of 16 for timeliness", p.Offset())
+	}
+}
+
+func TestShortLagAllowsSmallOffsets(t *testing.T) {
+	// With an immediate completion (lag 0), small offsets score well; BO
+	// should settle on a small multiple of the stream period (1).
+	p := New(mem.Page4M, DefaultParams())
+	driveStream(p, 0, 1, 120000, 0)
+	if p.Offset() > 32 {
+		t.Errorf("learned offset %d on a zero-lag stream; expected small", p.Offset())
+	}
+}
+
+func TestThrottlingOnRandomPattern(t *testing.T) {
+	// Random accesses spread over a huge region: no offset correlates, so
+	// the best score stays <= BADSCORE and prefetch must turn off.
+	p := New(mem.Page4K, DefaultParams())
+	seed := uint64(12345)
+	for i := 0; i < 60000; i++ {
+		seed = mem.Mix64(seed)
+		x := mem.LineAddr(seed % (1 << 40))
+		targets := p.OnAccess(miss(x))
+		for _, y := range targets {
+			p.OnFill(y, true)
+		}
+		// While off, demand fills feed the RR table (D=0 mode).
+		if !p.Enabled() {
+			p.OnFill(x, false)
+		}
+	}
+	if p.Enabled() {
+		t.Error("prefetch still on after a long random phase")
+	}
+	if p.Stats().PhasesOff == 0 {
+		t.Error("no phase ended with prefetch off")
+	}
+}
+
+func TestRecoversAfterRandomPhase(t *testing.T) {
+	p := New(mem.Page4M, DefaultParams())
+	// Random phase first (turns prefetch off) ...
+	seed := uint64(99)
+	for i := 0; i < 40000; i++ {
+		seed = mem.Mix64(seed)
+		x := mem.LineAddr(seed % (1 << 40))
+		for _, y := range p.OnAccess(miss(x)) {
+			p.OnFill(y, true)
+		}
+		if !p.Enabled() {
+			p.OnFill(x, false)
+		}
+	}
+	if p.Enabled() {
+		t.Fatal("prefetch should be off after random phase")
+	}
+	// ... then a sequential stream: learning continues via D=0 insertions
+	// and must turn prefetch back on.
+	var fills []mem.LineAddr
+	x := mem.LineAddr(1 << 30)
+	for i := 0; i < 120000; i++ {
+		targets := p.OnAccess(miss(x))
+		fills = append(fills, targets...)
+		if len(fills) > 4 {
+			p.OnFill(fills[0], true)
+			fills = fills[1:]
+		}
+		if !p.Enabled() {
+			p.OnFill(x, false)
+		}
+		x++
+	}
+	if !p.Enabled() {
+		t.Error("prefetch did not turn back on for a sequential stream")
+	}
+}
+
+func TestPhaseEndsEarlyAtScoreMax(t *testing.T) {
+	// A fast, perfectly predictable stream should end phases via ScoreMax
+	// well before RoundMax rounds.
+	p := New(mem.Page4M, DefaultParams())
+	driveStream(p, 0, 1, 120000, 0)
+	if p.Stats().ScoreMaxEnds == 0 {
+		t.Error("no phase ended at ScoreMax on a perfect stream")
+	}
+}
+
+func TestDegreeOne(t *testing.T) {
+	// BO must never issue more than one prefetch per access.
+	p := New(mem.Page4M, DefaultParams())
+	for i := 0; i < 10000; i++ {
+		if got := p.OnAccess(miss(mem.LineAddr(i))); len(got) > 1 {
+			t.Fatalf("issued %d prefetches in one access", len(got))
+		}
+	}
+}
+
+func TestOnFillCrossPageBaseIgnored(t *testing.T) {
+	// If Y and Y-D are in different pages, the base address is unknown and
+	// the RR table must not be written (footnote 2).
+	params := DefaultParams()
+	p := New(mem.Page4K, params)
+	before := p.Stats().RRInsertions
+	p.OnFill(64, true) // line 64 is the first line of page 1; 64-D=63 is page 0
+	if p.Stats().RRInsertions != before {
+		t.Error("cross-page RR insertion happened")
+	}
+	p.OnFill(65, true) // 65-1=64 same page: should insert
+	if p.Stats().RRInsertions != before+1 {
+		t.Error("same-page RR insertion missing")
+	}
+}
+
+func TestDemandFillIgnoredWhileOn(t *testing.T) {
+	p := New(mem.Page4K, DefaultParams())
+	before := p.Stats().RRInsertions
+	p.OnFill(100, false)
+	if p.Stats().RRInsertions != before {
+		t.Error("demand fill inserted into RR table while prefetch is on")
+	}
+}
+
+func TestRRTableHitAfterInsert(t *testing.T) {
+	rr := NewRRTable(256, 12)
+	rr.Insert(12345)
+	if !rr.Hit(12345) {
+		t.Error("inserted line not found")
+	}
+	if rr.Hit(54321) {
+		t.Error("false hit on never-inserted line (tags differ)")
+	}
+}
+
+func TestRRTableDirectMappedOverwrite(t *testing.T) {
+	rr := NewRRTable(256, 12)
+	a := mem.LineAddr(0x100)
+	// Find another line with the same index but a different tag.
+	var b mem.LineAddr
+	for l := mem.LineAddr(0x10000); ; l++ {
+		if rr.index(l) == rr.index(a) && rr.tag(l) != rr.tag(a) {
+			b = l
+			break
+		}
+	}
+	rr.Insert(a)
+	rr.Insert(b)
+	if rr.Hit(a) {
+		t.Error("line survived a conflicting insert in a direct-mapped table")
+	}
+	if !rr.Hit(b) {
+		t.Error("most recent insert missing")
+	}
+}
+
+func TestRRTableAliasing(t *testing.T) {
+	// Partial tags mean some distinct lines must alias. Verify the paper's
+	// geometry: index uses 8 bits, tag 12 bits, so lines differing only
+	// above bit 19 alias.
+	rr := NewRRTable(256, 12)
+	a := mem.LineAddr(0x12345)
+	b := a + (1 << 20)
+	rr.Insert(a)
+	if !rr.Hit(b) {
+		t.Error("lines differing only above bit 20 should alias with 12-bit tags")
+	}
+}
+
+func TestRRTableProperties(t *testing.T) {
+	// No false negatives: immediately after Insert(x), Hit(x) is true.
+	rr := NewRRTable(64, 10)
+	f := func(x uint64) bool {
+		l := mem.LineAddr(x % (1 << 38))
+		rr.Insert(l)
+		return rr.Hit(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRRTableReset(t *testing.T) {
+	rr := NewRRTable(64, 10)
+	rr.Insert(5)
+	rr.Reset()
+	if rr.Hit(5) {
+		t.Error("hit after Reset")
+	}
+	if rr.Len() != 64 {
+		t.Errorf("Len = %d, want 64", rr.Len())
+	}
+}
+
+func TestRRTableGeometryValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewRRTable(0, 12) },
+		func() { NewRRTable(100, 12) },
+		func() { NewRRTable(256, 0) },
+		func() { NewRRTable(256, 20) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad RR geometry did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestNewValidatesOffsets(t *testing.T) {
+	// Zero offsets are rejected; negative ones are allowed (section 4.2).
+	defer func() {
+		if recover() == nil {
+			t.Error("zero offset accepted")
+		}
+	}()
+	New(mem.Page4K, Params{RREntries: 64, RRTagBits: 10, ScoreMax: 31,
+		RoundMax: 100, BadScore: 1, Offsets: []int{1, 0}})
+}

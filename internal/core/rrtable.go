@@ -1,0 +1,80 @@
+package core
+
+import "bopsim/internal/mem"
+
+// RRTable is the Best-Offset prefetcher's recent-requests table (paper
+// section 4.1): a direct-mapped table of partial tags recording the *base
+// addresses* of recently completed prefetch requests. If the prefetched
+// line was X+D, the base address X is inserted when the prefetch completes
+// (i.e. when the line is filled into the L2). Finding X-d in the table
+// therefore means: "a prefetch triggered by X-d with offset d would have
+// completed by now", which is exactly the timeliness condition the sandbox
+// method lacks.
+//
+// The default geometry follows section 4.4: 256 entries indexed by XORing
+// the 8 least significant line-address bits with the next 8 bits, holding
+// 12-bit tags taken from the bits above the 8 index bits.
+type RRTable struct {
+	tags    []uint16
+	valid   []bool
+	idxBits uint
+	tagMask uint64
+}
+
+// NewRRTable returns a table with entries slots (a power of two) and
+// tagBits-bit tags.
+func NewRRTable(entries int, tagBits uint) *RRTable {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("core: RR table entries must be a positive power of two")
+	}
+	if tagBits == 0 || tagBits > 16 {
+		panic("core: RR tag bits must be in 1..16")
+	}
+	idxBits := uint(0)
+	for s := entries; s > 1; s >>= 1 {
+		idxBits++
+	}
+	return &RRTable{
+		tags:    make([]uint16, entries),
+		valid:   make([]bool, entries),
+		idxBits: idxBits,
+		tagMask: 1<<tagBits - 1,
+	}
+}
+
+// index computes the table slot: the low idxBits of the line address XORed
+// with the next idxBits (section 4.4's hash, generalized to any size).
+func (t *RRTable) index(line mem.LineAddr) int {
+	l := uint64(line)
+	return int((l ^ (l >> t.idxBits)) & (1<<t.idxBits - 1))
+}
+
+// tag extracts the partial tag: skip the idxBits least significant line
+// address bits and take the next tagBits bits.
+func (t *RRTable) tag(line mem.LineAddr) uint16 {
+	return uint16((uint64(line) >> t.idxBits) & t.tagMask)
+}
+
+// Insert records line as a recently completed prefetch base address,
+// overwriting whatever was in its slot (direct mapped).
+func (t *RRTable) Insert(line mem.LineAddr) {
+	i := t.index(line)
+	t.tags[i] = t.tag(line)
+	t.valid[i] = true
+}
+
+// Hit reports whether line's partial tag is present in its slot.
+func (t *RRTable) Hit(line mem.LineAddr) bool {
+	i := t.index(line)
+	return t.valid[i] && t.tags[i] == t.tag(line)
+}
+
+// Reset clears the table.
+func (t *RRTable) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+}
+
+// Len returns the number of slots.
+func (t *RRTable) Len() int { return len(t.tags) }

@@ -1,0 +1,174 @@
+// Package cpu provides the out-of-order core timing model driving the
+// memory hierarchy. It is deliberately simple — a reorder buffer with
+// bounded dispatch and retire widths and dependence-aware load issue — but
+// it captures what matters for prefetching studies: memory-level
+// parallelism is bounded by the ROB, independent misses overlap, dependent
+// (pointer-chase) loads serialize, and a late prefetch stalls retirement
+// for exactly the remaining latency. The paper's own simulator is likewise
+// trace-driven without wrong-path effects (section 5).
+package cpu
+
+import (
+	"bopsim/internal/dram"
+	"bopsim/internal/mem"
+	"bopsim/internal/trace"
+	"bopsim/internal/uncore"
+)
+
+// Config sets the core's pipeline shape. The defaults follow Table 1 in
+// spirit; widths are "effective" (post-dependence) rather than peak decode
+// widths since the model does not track ALU dependences.
+type Config struct {
+	DispatchWidth int
+	RetireWidth   int
+	ROBSize       int
+	ALULatency    uint64
+}
+
+// DefaultConfig returns the baseline core model.
+func DefaultConfig() Config {
+	return Config{DispatchWidth: 4, RetireWidth: 4, ROBSize: 256, ALULatency: 1}
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	isMem   bool
+	isLoad  bool
+	pc      uint64
+	va      mem.Addr
+	doneAt  uint64       // ALU/store completion
+	fut     *dram.Future // load completion (nil until issued)
+	issued  bool
+	dep     *robEntry // load this entry's address depends on (nil if none)
+	isWrite bool
+}
+
+// Core is one simulated core executing a trace.Generator.
+type Core struct {
+	ID   int
+	cfg  Config
+	hier *uncore.Hierarchy
+	gen  trace.Generator
+
+	rob     []*robEntry
+	waiting []*robEntry // dispatched loads not yet issued (dep or MSHR full)
+
+	lastLoad *robEntry // most recent load, for DepPrevLoad chaining
+	pending  *trace.Inst
+
+	// Retired counts retired instructions; Cycles is advanced by the
+	// simulation driver via Cycle calls.
+	Retired uint64
+
+	// DispatchStallMSHR counts dispatch stalls due to full MSHRs.
+	DispatchStallMSHR uint64
+}
+
+// New builds a core bound to a hierarchy and an instruction stream.
+func New(id int, cfg Config, hier *uncore.Hierarchy, gen trace.Generator) *Core {
+	return &Core{ID: id, cfg: cfg, hier: hier, gen: gen}
+}
+
+// Cycle advances the core by one clock: retire, issue waiting loads, then
+// dispatch new instructions.
+func (c *Core) Cycle(now uint64) {
+	c.retire(now)
+	c.issueWaiting(now)
+	c.dispatch(now)
+}
+
+func (e *robEntry) done(now uint64) bool {
+	if e.isLoad {
+		return e.issued && e.fut.DoneBy(now)
+	}
+	return e.doneAt <= now
+}
+
+func (c *Core) retire(now uint64) {
+	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
+		head := c.rob[0]
+		if !head.done(now) {
+			return
+		}
+		if head.isMem {
+			c.hier.RetireMemOp(c.ID, head.pc, head.va)
+		}
+		c.rob = c.rob[1:]
+		c.Retired++
+	}
+}
+
+// issueWaiting sends dependence- or MSHR-stalled loads to the hierarchy
+// once they are ready.
+func (c *Core) issueWaiting(now uint64) {
+	if len(c.waiting) == 0 {
+		return
+	}
+	kept := c.waiting[:0]
+	for _, e := range c.waiting {
+		if e.dep != nil && !e.dep.done(now) {
+			kept = append(kept, e)
+			continue
+		}
+		fut := c.hier.Access(c.ID, e.pc, e.va, e.isWrite, now)
+		if fut == nil {
+			kept = append(kept, e) // MSHRs full; retry next cycle
+			continue
+		}
+		e.fut = fut
+		e.issued = true
+	}
+	c.waiting = kept
+}
+
+func (c *Core) dispatch(now uint64) {
+	for n := 0; n < c.cfg.DispatchWidth; n++ {
+		if len(c.rob) >= c.cfg.ROBSize {
+			return
+		}
+		var inst trace.Inst
+		if c.pending != nil {
+			inst = *c.pending
+			c.pending = nil
+		} else {
+			inst = c.gen.Next()
+		}
+		switch inst.Op {
+		case trace.OpALU:
+			c.rob = append(c.rob, &robEntry{doneAt: now + c.cfg.ALULatency, pc: inst.PC})
+		case trace.OpLoad:
+			e := &robEntry{isMem: true, isLoad: true, pc: inst.PC, va: inst.VA}
+			if inst.DepPrevLoad && c.lastLoad != nil && !c.lastLoad.done(now) {
+				e.dep = c.lastLoad
+				c.waiting = append(c.waiting, e)
+			} else {
+				fut := c.hier.Access(c.ID, inst.PC, inst.VA, false, now)
+				if fut == nil {
+					c.DispatchStallMSHR++
+					c.pending = &inst
+					return
+				}
+				e.fut = fut
+				e.issued = true
+			}
+			c.rob = append(c.rob, e)
+			c.lastLoad = e
+		case trace.OpStore:
+			// Stores retire through the store buffer without waiting for
+			// the fill, but still generate the write-allocate traffic.
+			fut := c.hier.Access(c.ID, inst.PC, inst.VA, true, now)
+			if fut == nil {
+				c.DispatchStallMSHR++
+				c.pending = &inst
+				return
+			}
+			c.rob = append(c.rob, &robEntry{
+				isMem: true, pc: inst.PC, va: inst.VA,
+				doneAt: now + c.cfg.ALULatency, isWrite: true,
+			})
+		}
+	}
+}
+
+// ROBOccupancy returns the current reorder-buffer fill, for tests.
+func (c *Core) ROBOccupancy() int { return len(c.rob) }

@@ -1,0 +1,38 @@
+package dram
+
+// Future is the completion handle of an in-flight memory request. A request
+// whose service time is not yet known (queued behind other DRAM traffic)
+// carries a pending Future; the controller resolves it with the cycle at
+// which the data transfer completes. Cache hits resolve futures immediately.
+type Future struct {
+	cycle    uint64
+	resolved bool
+}
+
+// ResolvedAt returns a future already resolved at cycle.
+func ResolvedAt(cycle uint64) *Future {
+	return &Future{cycle: cycle, resolved: true}
+}
+
+// Pending returns an unresolved future.
+func Pending() *Future { return &Future{} }
+
+// Resolve marks the future complete at cycle. Resolving twice keeps the
+// earliest completion (a request can be satisfied by a fill-queue match
+// racing with its own DRAM access).
+func (f *Future) Resolve(cycle uint64) {
+	if f.resolved && f.cycle <= cycle {
+		return
+	}
+	f.cycle = cycle
+	f.resolved = true
+}
+
+// Resolved reports whether the completion time is known.
+func (f *Future) Resolved() bool { return f.resolved }
+
+// Cycle returns the completion cycle; only meaningful once Resolved.
+func (f *Future) Cycle() uint64 { return f.cycle }
+
+// DoneBy reports whether the request has completed at or before now.
+func (f *Future) DoneBy(now uint64) bool { return f.resolved && f.cycle <= now }

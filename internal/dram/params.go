@@ -1,0 +1,70 @@
+// Package dram models the main memory of the baseline microarchitecture
+// (paper section 5.3 and Table 1): two independent channels, each a 64-bit
+// bus clocked at 1/4 the core frequency driving one rank of 8 chips with 8
+// banks and an 8KB per-rank row buffer, DDR3-like timing, per-core read and
+// write queues, an FR-FCFS read scheduler with steady/urgent modes and
+// proportional-counter fairness, and out-of-order write bursts of 16.
+//
+// The scheduler does not distinguish demand from prefetch requests — they
+// are treated equally, exactly as in the paper.
+package dram
+
+// Params collects the DDR3-like timing and geometry parameters from
+// Table 1. All timing values are in bus cycles; BusRatio converts to core
+// cycles (bus cycle = 4 core cycles in the baseline).
+type Params struct {
+	Channels int // independent channels, one controller each
+	Banks    int // banks per rank (one rank per channel)
+
+	BusRatio int // core cycles per bus cycle
+
+	TCL    int // CAS latency
+	TRCD   int // RAS-to-CAS delay
+	TRP    int // row precharge
+	TRAS   int // row active time
+	TCWL   int // CAS write latency
+	TRTP   int // read-to-precharge
+	TWR    int // write recovery
+	TWTR   int // write-to-read turnaround
+	TBURST int // data burst duration (8 beats on a 64-bit bus = 4 bus cycles)
+
+	ReadQueueLen  int // per-core read queue entries per controller
+	WriteQueueLen int // per-core write queue entries per controller
+	WriteBatch    int // writes drained per write burst
+
+	// ExtraLatency is the fixed round-trip overhead in core cycles added to
+	// every read completion: controller pipeline, on-chip interconnect and
+	// off-chip link delays that the bank timing alone does not cover.
+	ExtraLatency uint64
+
+	NumCores int
+
+	// UrgentThreshold is the proportional-counter gap between the served
+	// core and the lagging core beyond which urgent mode preempts steady
+	// mode (section 5.3 uses 31).
+	UrgentThreshold uint32
+}
+
+// DefaultParams returns the baseline memory system of Table 1.
+func DefaultParams(numCores int) Params {
+	return Params{
+		Channels:        2,
+		Banks:           8,
+		BusRatio:        4,
+		TCL:             11,
+		TRCD:            11,
+		TRP:             11,
+		TRAS:            33,
+		TCWL:            8,
+		TRTP:            6,
+		TWR:             12,
+		TWTR:            6,
+		TBURST:          4,
+		ReadQueueLen:    32,
+		WriteQueueLen:   32,
+		WriteBatch:      16,
+		ExtraLatency:    60,
+		NumCores:        numCores,
+		UrgentThreshold: 31,
+	}
+}

@@ -1,0 +1,432 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (sections 5 and 6). Each FigN function runs the simulations
+// that figure needs and returns text tables with the same rows (the 29
+// benchmarks plus the geometric mean) and series (the baseline
+// configurations) the paper plots. Speedups are computed exactly as in the
+// paper: IPC relative to the same configuration with the baseline L2
+// next-line prefetcher.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bopsim/internal/core"
+	"bopsim/internal/mem"
+	"bopsim/internal/sim"
+	"bopsim/internal/stats"
+	"bopsim/internal/trace"
+)
+
+// CoreConfig is one baseline configuration: active core count x page size.
+type CoreConfig struct {
+	Cores int
+	Page  mem.PageSize
+}
+
+// Label returns the paper-style configuration name.
+func (c CoreConfig) Label() string { return sim.ConfigLabel(c.Cores, c.Page) }
+
+// AllConfigs returns the paper's six baseline configurations.
+func AllConfigs() []CoreConfig {
+	var out []CoreConfig
+	for _, page := range []mem.PageSize{mem.Page4K, mem.Page4M} {
+		for _, cores := range []int{1, 2, 4} {
+			out = append(out, CoreConfig{Cores: cores, Page: page})
+		}
+	}
+	return out
+}
+
+// QuickConfigs returns a representative subset for fast regeneration:
+// single-core at both page sizes plus the 2-core 4MB configuration where
+// the paper's BO gains are largest.
+func QuickConfigs() []CoreConfig {
+	return []CoreConfig{
+		{Cores: 1, Page: mem.Page4K},
+		{Cores: 1, Page: mem.Page4M},
+		{Cores: 2, Page: mem.Page4M},
+	}
+}
+
+// Runner executes and caches simulation runs for the figures.
+type Runner struct {
+	Instructions uint64
+	Seed         uint64
+	Benchmarks   []string
+	Configs      []CoreConfig
+	// Log, when non-nil, receives one progress line per simulation run.
+	Log io.Writer
+
+	cache map[string]sim.Result
+}
+
+// NewRunner returns a Runner with the full benchmark list and the given
+// configurations.
+func NewRunner(instructions uint64, configs []CoreConfig) *Runner {
+	return &Runner{
+		Instructions: instructions,
+		Seed:         1,
+		Benchmarks:   trace.Benchmarks(),
+		Configs:      configs,
+		cache:        make(map[string]sim.Result),
+	}
+}
+
+// options builds the default run options for a workload and configuration.
+func (r *Runner) options(wl string, cc CoreConfig) sim.Options {
+	o := sim.DefaultOptions(wl)
+	o.Cores = cc.Cores
+	o.Page = cc.Page
+	o.Instructions = r.Instructions
+	o.Seed = r.Seed
+	return o
+}
+
+func optionsKey(o sim.Options) string {
+	boKey := ""
+	if o.BOParams != nil {
+		boKey = fmt.Sprintf("rr%d,bad%d", o.BOParams.RREntries, o.BOParams.BadScore)
+	}
+	return fmt.Sprintf("%s|%d|%s|%s|%d|%s|%v|%v|%d|%s",
+		o.Workload, o.Cores, o.Page, o.L2PF, o.FixedOffset, o.L3Policy,
+		o.StridePF, o.LatePromote, o.Instructions, boKey)
+}
+
+// run executes (or fetches from cache) one simulation.
+func (r *Runner) run(o sim.Options) sim.Result {
+	key := optionsKey(o)
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	res, err := sim.Run(o)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, "  ran %-55s IPC=%.3f\n", key, res.IPC)
+	}
+	r.cache[key] = res
+	return res
+}
+
+// baseline returns the paper's baseline run: next-line L2 prefetcher, 5P
+// L3 replacement, DL1 stride prefetcher on.
+func (r *Runner) baseline(wl string, cc CoreConfig) sim.Result {
+	return r.run(r.options(wl, cc))
+}
+
+// speedupTable builds a per-benchmark table of IPC(variant)/IPC(baseline)
+// across all configured CoreConfigs, with a GM row.
+func (r *Runner) speedupTable(title string, variant func(o sim.Options) sim.Options) *stats.Table {
+	cols := make([]string, len(r.Configs))
+	for i, cc := range r.Configs {
+		cols[i] = cc.Label()
+	}
+	tb := stats.NewTable(title, cols...)
+	for _, wl := range r.Benchmarks {
+		row := make([]float64, len(r.Configs))
+		for i, cc := range r.Configs {
+			base := r.baseline(wl, cc)
+			v := r.run(variant(r.options(wl, cc)))
+			row[i] = stats.Speedup(base.IPC, v.IPC)
+		}
+		tb.AddRow(wl, row...)
+	}
+	tb.AddGeoMeanRow()
+	return tb
+}
+
+// Table1 renders the baseline microarchitecture parameters.
+func Table1() string {
+	return `Table 1: baseline microarchitecture (as modelled)
+  cores                      1/2/4 active (core 0 measured; others run the
+                             cache-thrashing micro-benchmark)
+  core model                 256-entry ROB, 4-wide effective dispatch/retire,
+                             dependence-aware load issue, store buffer
+  cache line                 64 bytes
+  DL1                        32KB 8-way LRU, 3-cycle latency, 32 MSHRs
+  L2 (private)               512KB 8-way LRU, 11-cycle latency,
+                             16-entry fill queue
+  L3 (shared)                8MB 16-way 5P, 21-cycle latency,
+                             32-entry fill queue
+  TLBs                       DTLB1 64, TLB2 512 entries
+  DL1 prefetch               stride prefetcher, 64 entries, distance 16,
+                             16-entry filter, TLB2-gated
+  L2 prefetch                next-line (baseline), prefetch bits
+  memory                     2 channels, 64-bit bus at 1/4 core clock,
+                             8 banks/rank, 8KB row/rank
+  DDR3 (bus cycles)          tCL=11 tRCD=11 tRP=11 tRAS=33 tCWL=8 tRTP=6
+                             tWR=12 tWTR=6 tBURST=4
+  memory controller          32-entry read + 32-entry write queue per core,
+                             FR-FCFS, steady/urgent modes, 7-bit proportional
+                             counters, write bursts of 16
+  page size                  4KB / 4MB
+`
+}
+
+// Table2 renders the BO prefetcher default parameters.
+func Table2() string {
+	p := core.DefaultParams()
+	return fmt.Sprintf(`Table 2: BO prefetcher default parameters
+  RR table entries  %d
+  RR tag bits       %d
+  SCOREMAX          %d
+  ROUNDMAX          %d
+  BADSCORE          %d
+  scores/offsets    %d (offset list of section 4.2)
+`, p.RREntries, p.RRTagBits, p.ScoreMax, p.RoundMax, p.BadScore, len(p.Offsets))
+}
+
+// Fig2 reports baseline IPC for every benchmark and configuration.
+func (r *Runner) Fig2() *stats.Table {
+	cols := make([]string, len(r.Configs))
+	for i, cc := range r.Configs {
+		cols[i] = cc.Label()
+	}
+	tb := stats.NewTable("Figure 2: baseline IPC (core 0)", cols...)
+	for _, wl := range r.Benchmarks {
+		row := make([]float64, len(r.Configs))
+		for i, cc := range r.Configs {
+			row[i] = r.baseline(wl, cc).IPC
+		}
+		tb.AddRow(wl, row...)
+	}
+	return tb
+}
+
+// Fig3 reports the impact of replacing the 5P L3 policy with LRU and with
+// DRRIP (4KB pages in the paper).
+func (r *Runner) Fig3() []*stats.Table {
+	var out []*stats.Table
+	for _, pol := range []string{"LRU", "DRRIP"} {
+		pol := pol
+		out = append(out, r.speedupTable(
+			fmt.Sprintf("Figure 3: L3 replacement %s vs 5P baseline", pol),
+			func(o sim.Options) sim.Options { o.L3Policy = pol; return o }))
+	}
+	return out
+}
+
+// Fig4 reports the impact of disabling the DL1 stride prefetcher.
+func (r *Runner) Fig4() *stats.Table {
+	return r.speedupTable("Figure 4: DL1 stride prefetcher disabled (vs baseline)",
+		func(o sim.Options) sim.Options { o.StridePF = false; return o })
+}
+
+// Fig5 reports the impact of disabling the L2 next-line prefetcher.
+func (r *Runner) Fig5() *stats.Table {
+	return r.speedupTable("Figure 5: L2 next-line prefetcher disabled (vs baseline)",
+		func(o sim.Options) sim.Options { o.L2PF = sim.PFNone; return o })
+}
+
+// Fig6 reports BO prefetcher speedup relative to next-line.
+func (r *Runner) Fig6() *stats.Table {
+	return r.speedupTable("Figure 6: BO prefetcher speedup (vs next-line baseline)",
+		func(o sim.Options) sim.Options { o.L2PF = sim.PFBO; return o })
+}
+
+// Fig7 compares BO against fixed offsets 2..7 (geometric means only, as in
+// the paper).
+func (r *Runner) Fig7() *stats.Table {
+	cols := make([]string, len(r.Configs))
+	for i, cc := range r.Configs {
+		cols[i] = cc.Label()
+	}
+	tb := stats.NewTable("Figure 7: BO vs fixed-offset prefetching (GM speedup)", cols...)
+	addRow := func(label string, variant func(o sim.Options) sim.Options) {
+		row := make([]float64, len(r.Configs))
+		for i, cc := range r.Configs {
+			ratios := make([]float64, 0, len(r.Benchmarks))
+			for _, wl := range r.Benchmarks {
+				base := r.baseline(wl, cc)
+				v := r.run(variant(r.options(wl, cc)))
+				ratios = append(ratios, stats.Speedup(base.IPC, v.IPC))
+			}
+			row[i] = stats.GeoMean(ratios)
+		}
+		tb.AddRow(label, row...)
+	}
+	addRow("BO", func(o sim.Options) sim.Options { o.L2PF = sim.PFBO; return o })
+	for d := 2; d <= 7; d++ {
+		d := d
+		addRow(fmt.Sprintf("D=%d", d), func(o sim.Options) sim.Options {
+			o.L2PF = sim.PFOffset
+			o.FixedOffset = d
+			return o
+		})
+	}
+	return tb
+}
+
+// Fig8Offsets is the default offset sample for the fixed-offset sweep.
+func Fig8Offsets() []int {
+	var out []int
+	for d := 2; d <= 32; d += 2 {
+		out = append(out, d)
+	}
+	for d := 36; d <= 64; d += 4 {
+		out = append(out, d)
+	}
+	for d := 72; d <= 256; d += 8 {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Fig8 sweeps fixed offsets on the four benchmarks of Figure 8 (4MB pages,
+// 1 core), with the BO prefetcher's speedup as a reference row.
+func (r *Runner) Fig8(offsets []int) *stats.Table {
+	if offsets == nil {
+		offsets = Fig8Offsets()
+	}
+	benchmarks := []string{"433.milc", "459.GemsFDTD", "470.lbm", "462.libquantum"}
+	cc := CoreConfig{Cores: 1, Page: mem.Page4M}
+	cols := make([]string, len(benchmarks))
+	copy(cols, benchmarks)
+	tb := stats.NewTable("Figure 8: fixed-offset sweep, 4MB pages, 1 core (speedup vs next-line)", cols...)
+	boRow := make([]float64, len(benchmarks))
+	for i, wl := range benchmarks {
+		base := r.baseline(wl, cc)
+		o := r.options(wl, cc)
+		o.L2PF = sim.PFBO
+		boRow[i] = stats.Speedup(base.IPC, r.run(o).IPC)
+	}
+	tb.AddRow("BO", boRow...)
+	for _, d := range offsets {
+		row := make([]float64, len(benchmarks))
+		for i, wl := range benchmarks {
+			base := r.baseline(wl, cc)
+			o := r.options(wl, cc)
+			o.L2PF = sim.PFOffset
+			o.FixedOffset = d
+			row[i] = stats.Speedup(base.IPC, r.run(o).IPC)
+		}
+		tb.AddRow(fmt.Sprintf("D=%d", d), row...)
+	}
+	return tb
+}
+
+// Fig9 sweeps the BADSCORE throttling threshold (GM speedups).
+func (r *Runner) Fig9() *stats.Table {
+	return r.boParamSweep("Figure 9: impact of BADSCORE (GM speedup vs next-line)",
+		[]int{0, 1, 2, 5, 10},
+		func(p *core.Params, v int) { p.BadScore = v },
+		"BADSCORE=%d")
+}
+
+// Fig10 sweeps the RR table size (GM speedups).
+func (r *Runner) Fig10() *stats.Table {
+	return r.boParamSweep("Figure 10: impact of RR table size (GM speedup vs next-line)",
+		[]int{32, 64, 128, 256, 512},
+		func(p *core.Params, v int) { p.RREntries = v },
+		"RR=%d")
+}
+
+func (r *Runner) boParamSweep(title string, values []int, apply func(*core.Params, int), labelFmt string) *stats.Table {
+	cols := make([]string, len(r.Configs))
+	for i, cc := range r.Configs {
+		cols[i] = cc.Label()
+	}
+	tb := stats.NewTable(title, cols...)
+	for _, v := range values {
+		row := make([]float64, len(r.Configs))
+		for i, cc := range r.Configs {
+			ratios := make([]float64, 0, len(r.Benchmarks))
+			for _, wl := range r.Benchmarks {
+				base := r.baseline(wl, cc)
+				o := r.options(wl, cc)
+				o.L2PF = sim.PFBO
+				p := core.DefaultParams()
+				apply(&p, v)
+				o.BOParams = &p
+				ratios = append(ratios, stats.Speedup(base.IPC, r.run(o).IPC))
+			}
+			row[i] = stats.GeoMean(ratios)
+		}
+		tb.AddRow(fmt.Sprintf(labelFmt, v), row...)
+	}
+	return tb
+}
+
+// Fig11 compares BO and SBP geometric-mean speedups over the baseline.
+func (r *Runner) Fig11() *stats.Table {
+	cols := make([]string, len(r.Configs))
+	for i, cc := range r.Configs {
+		cols[i] = cc.Label()
+	}
+	tb := stats.NewTable("Figure 11: BO vs SBP (GM speedup vs next-line baseline)", cols...)
+	for _, kind := range []sim.PrefetcherKind{sim.PFBO, sim.PFSBP} {
+		kind := kind
+		row := make([]float64, len(r.Configs))
+		for i, cc := range r.Configs {
+			ratios := make([]float64, 0, len(r.Benchmarks))
+			for _, wl := range r.Benchmarks {
+				base := r.baseline(wl, cc)
+				o := r.options(wl, cc)
+				o.L2PF = kind
+				ratios = append(ratios, stats.Speedup(base.IPC, r.run(o).IPC))
+			}
+			row[i] = stats.GeoMean(ratios)
+		}
+		tb.AddRow(string(kind), row...)
+	}
+	return tb
+}
+
+// Fig12 reports per-benchmark BO speedup relative to SBP.
+func (r *Runner) Fig12() *stats.Table {
+	cols := make([]string, len(r.Configs))
+	for i, cc := range r.Configs {
+		cols[i] = cc.Label()
+	}
+	tb := stats.NewTable("Figure 12: BO speedup relative to SBP", cols...)
+	for _, wl := range r.Benchmarks {
+		row := make([]float64, len(r.Configs))
+		for i, cc := range r.Configs {
+			oBO := r.options(wl, cc)
+			oBO.L2PF = sim.PFBO
+			oSBP := r.options(wl, cc)
+			oSBP.L2PF = sim.PFSBP
+			row[i] = stats.Speedup(r.run(oSBP).IPC, r.run(oBO).IPC)
+		}
+		tb.AddRow(wl, row...)
+	}
+	tb.AddGeoMeanRow()
+	return tb
+}
+
+// Fig13 reports DRAM accesses per kilo-instruction (4KB pages, 1 core) for
+// no-prefetch, next-line, BO and SBP, on the memory-active benchmarks.
+func (r *Runner) Fig13() *stats.Table {
+	cc := CoreConfig{Cores: 1, Page: mem.Page4K}
+	kinds := []sim.PrefetcherKind{sim.PFNone, sim.PFNextLine, sim.PFBO, sim.PFSBP}
+	cols := make([]string, len(kinds))
+	for i, k := range kinds {
+		cols[i] = string(k)
+	}
+	tb := stats.NewTable("Figure 13: DRAM accesses per 1000 instructions (4KB, 1 core)", cols...)
+	type entry struct {
+		wl  string
+		row []float64
+	}
+	var entries []entry
+	for _, wl := range r.Benchmarks {
+		row := make([]float64, len(kinds))
+		for i, k := range kinds {
+			o := r.options(wl, cc)
+			o.L2PF = k
+			row[i] = r.run(o).DRAMAccessesPerKI
+		}
+		// The paper omits benchmarks that access DRAM infrequently.
+		if row[1] >= 2 {
+			entries = append(entries, entry{wl, row})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].wl < entries[j].wl })
+	for _, e := range entries {
+		tb.AddRow(e.wl, e.row...)
+	}
+	return tb
+}

@@ -1,0 +1,136 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineConversionRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		l := LineOf(addr)
+		back := ByteOf(l)
+		// The line base must be <= addr and within one line of it.
+		return uint64(back) <= a && a-uint64(back) < LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageSizeBits(t *testing.T) {
+	if got := Page4K.Bits(); got != 12 {
+		t.Errorf("Page4K.Bits() = %d, want 12", got)
+	}
+	if got := Page4M.Bits(); got != 22 {
+		t.Errorf("Page4M.Bits() = %d, want 22", got)
+	}
+}
+
+func TestLinesPerPage(t *testing.T) {
+	if got := Page4K.LinesPerPage(); got != 64 {
+		t.Errorf("4KB page has %d lines, want 64", got)
+	}
+	if got := Page4M.LinesPerPage(); got != 65536 {
+		t.Errorf("4MB page has %d lines, want 65536", got)
+	}
+}
+
+func TestSamePage(t *testing.T) {
+	// Lines 0..63 share the first 4KB page; line 64 does not.
+	if !Page4K.SamePage(0, 63) {
+		t.Error("lines 0 and 63 should share a 4KB page")
+	}
+	if Page4K.SamePage(0, 64) {
+		t.Error("lines 0 and 64 must not share a 4KB page")
+	}
+	// With 4MB pages, lines 0 and 64 do share a page.
+	if !Page4M.SamePage(0, 64) {
+		t.Error("lines 0 and 64 should share a 4MB page")
+	}
+}
+
+func TestLineIndexInPage(t *testing.T) {
+	for _, tc := range []struct {
+		line LineAddr
+		want uint64
+	}{
+		{0, 0}, {1, 1}, {63, 63}, {64, 0}, {65, 1}, {130, 2},
+	} {
+		if got := Page4K.LineIndexInPage(tc.line); got != tc.want {
+			t.Errorf("LineIndexInPage(%d) = %d, want %d", tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestPageSizeString(t *testing.T) {
+	if Page4K.String() != "4KB" || Page4M.String() != "4MB" {
+		t.Errorf("unexpected page size strings: %s %s", Page4K, Page4M)
+	}
+	if got := PageSize(8192).String(); got != "8192B" {
+		t.Errorf("PageSize(8192).String() = %q, want 8192B", got)
+	}
+}
+
+func TestTranslatorPreservesPageOffset(t *testing.T) {
+	tr := NewTranslator(Page4K, 12345)
+	f := func(a uint64) bool {
+		va := Addr(a)
+		pa := tr.Translate(va)
+		return uint64(pa)&(uint64(Page4K)-1) == uint64(va)&(uint64(Page4K)-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslatorDeterministic(t *testing.T) {
+	a := NewTranslator(Page4K, 7)
+	b := NewTranslator(Page4K, 7)
+	for va := Addr(0); va < 1<<20; va += 4096 {
+		if a.Translate(va) != b.Translate(va) {
+			t.Fatalf("translators with identical seeds disagree at %#x", va)
+		}
+	}
+}
+
+func TestTranslatorSamePageStaysTogether(t *testing.T) {
+	tr := NewTranslator(Page4K, 99)
+	base := Addr(0x1234000)
+	pa0 := tr.Translate(base)
+	for off := Addr(1); off < 4096; off += 64 {
+		pa := tr.Translate(base + off)
+		if pa != pa0+off {
+			t.Fatalf("offset %d broke page contiguity: %#x vs %#x", off, pa, pa0+off)
+		}
+	}
+}
+
+func TestTranslatorSeedsDiffer(t *testing.T) {
+	a := NewTranslator(Page4K, 1)
+	b := NewTranslator(Page4K, 2)
+	same := 0
+	for va := Addr(0); va < 1<<22; va += 4096 {
+		if a.Translate(va) == b.Translate(va) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds mapped %d pages identically", same)
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	for bitIdx := uint(0); bitIdx < 64; bitIdx += 7 {
+		x := uint64(0xdeadbeefcafef00d)
+		diff := Mix64(x) ^ Mix64(x^(1<<bitIdx))
+		ones := 0
+		for d := diff; d != 0; d &= d - 1 {
+			ones++
+		}
+		if ones < 16 || ones > 48 {
+			t.Errorf("bit %d: only %d output bits flipped", bitIdx, ones)
+		}
+	}
+}

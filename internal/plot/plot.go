@@ -1,0 +1,112 @@
+// Package plot renders the experiment tables as ASCII bar charts, so
+// cmd/experiments can show the paper's figures as figures rather than only
+// as numbers. Charts are deliberately simple: one labelled bar per value,
+// scaled to a fixed width, with an optional reference line (e.g. speedup
+// 1.0).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Chart is a horizontal ASCII bar chart.
+type Chart struct {
+	Title string
+	Bars  []Bar
+	// Reference, when non-zero, draws a vertical marker at that value
+	// (useful for speedup charts where 1.0 is the baseline).
+	Reference float64
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// Min pins the left edge; zero means auto (min of values/reference).
+	Min float64
+}
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// bounds computes the plotting range.
+func (c *Chart) bounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, b := range c.Bars {
+		lo = math.Min(lo, b.Value)
+		hi = math.Max(hi, b.Value)
+	}
+	if c.Reference != 0 {
+		lo = math.Min(lo, c.Reference)
+		hi = math.Max(hi, c.Reference)
+	}
+	if c.Min != 0 || lo > c.Min && c.Min != 0 {
+		lo = c.Min
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	// A little headroom so the largest bar is distinguishable.
+	span := hi - lo
+	lo -= span * 0.02
+	hi += span * 0.05
+	return lo, hi
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	labelWidth := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > labelWidth {
+			labelWidth = len(b.Label)
+		}
+	}
+	lo, hi := c.bounds()
+	scale := func(v float64) int {
+		pos := int(math.Round((v - lo) / (hi - lo) * float64(width)))
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > width {
+			pos = width
+		}
+		return pos
+	}
+	refPos := -1
+	if c.Reference != 0 {
+		refPos = scale(c.Reference)
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		n := scale(b.Value)
+		row := []byte(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+		if refPos >= 0 && refPos < len(row) {
+			if row[refPos] == '#' {
+				row[refPos] = '|'
+			} else {
+				row[refPos] = '.'
+			}
+		}
+		fmt.Fprintf(w, "%-*s %8.3f %s\n", labelWidth, b.Label, b.Value, string(row))
+	}
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	c.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{Title: "demo", Width: 20}
+	c.Add("a", 1.0)
+	c.Add("bb", 2.0)
+	out := c.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	// The larger value must have more '#' characters.
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Error("bar lengths not ordered by value")
+	}
+}
+
+func TestReferenceMarkerDrawn(t *testing.T) {
+	c := &Chart{Width: 30, Reference: 1.0}
+	c.Add("x", 0.5)
+	c.Add("y", 1.5)
+	out := c.String()
+	if !strings.Contains(out, ".") && !strings.Contains(out, "|") {
+		t.Error("reference marker missing")
+	}
+}
+
+func TestEqualValuesDoNotPanic(t *testing.T) {
+	c := &Chart{Width: 10}
+	c.Add("x", 1.0)
+	c.Add("y", 1.0)
+	if out := c.String(); out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestLabelsAligned(t *testing.T) {
+	c := &Chart{Width: 10}
+	c.Add("short", 1)
+	c.Add("a-much-longer-label", 2)
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	// Values must start at the same column.
+	i0 := strings.Index(lines[0], "1.000")
+	i1 := strings.Index(lines[1], "2.000")
+	if i0 != i1 {
+		t.Errorf("value columns misaligned: %d vs %d", i0, i1)
+	}
+}
+
+func TestBarsStayInWidth(t *testing.T) {
+	c := &Chart{Width: 15}
+	for i := 0; i < 10; i++ {
+		c.Add("v", float64(i))
+	}
+	for _, line := range strings.Split(c.String(), "\n") {
+		if strings.Count(line, "#") > 15 {
+			t.Errorf("bar exceeds width: %q", line)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package prefetch defines the L2 prefetcher interface shared by every L2
+// prefetcher in this repository (next-line, fixed-offset, Best-Offset,
+// Sandbox) and implements the two simplest ones. L2 prefetchers work on
+// physical line addresses only: they see neither PCs nor TLB state (paper
+// section 5.6), and they never prefetch across a page boundary.
+package prefetch
+
+import "bopsim/internal/mem"
+
+// AccessInfo describes one L2 read access from the core side (an L1 miss or
+// an L1 prefetch), the input stream every L2 prefetcher observes.
+type AccessInfo struct {
+	Line mem.LineAddr // physical line address X
+	Hit  bool         // L2 hit
+	// PrefetchedHit is true for an L2 hit on a line whose prefetch bit was
+	// still set. Misses and prefetched hits are the "eligible" accesses
+	// that trigger offset prefetchers (paper section 4).
+	PrefetchedHit bool
+}
+
+// Eligible reports whether the access triggers an offset prefetcher: an L2
+// miss or a prefetched hit.
+func (a AccessInfo) Eligible() bool { return !a.Hit || a.PrefetchedHit }
+
+// L2Prefetcher is implemented by all L2 prefetchers.
+type L2Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// OnAccess observes one L2 read access and returns the physical lines
+	// to prefetch (possibly none). Implementations must respect page
+	// boundaries themselves.
+	OnAccess(a AccessInfo) []mem.LineAddr
+	// OnFill observes a line being inserted into the L2 cache, with
+	// wasPrefetch true when the fill was caused by this prefetcher (and not
+	// promoted to a demand miss in the meantime). The Best-Offset
+	// prefetcher uses fills to populate its recent-requests table at
+	// prefetch *completion* time, which is how it learns timeliness.
+	OnFill(line mem.LineAddr, wasPrefetch bool)
+}
+
+// None is the "no L2 prefetcher" configuration (Figure 5's ablation).
+type None struct{}
+
+// Name implements L2Prefetcher.
+func (None) Name() string { return "none" }
+
+// OnAccess implements L2Prefetcher.
+func (None) OnAccess(AccessInfo) []mem.LineAddr { return nil }
+
+// OnFill implements L2Prefetcher.
+func (None) OnFill(mem.LineAddr, bool) {}
+
+// FixedOffset prefetches X+D on every eligible access, D constant. D=1 is
+// the baseline next-line prefetcher of section 5.6; other values are used
+// by Figures 7 and 8.
+type FixedOffset struct {
+	page   mem.PageSize
+	offset uint64
+	name   string
+}
+
+// NewFixedOffset returns a fixed-offset prefetcher with offset d >= 1.
+func NewFixedOffset(page mem.PageSize, d int) *FixedOffset {
+	if d < 1 {
+		panic("prefetch: fixed offset must be >= 1")
+	}
+	name := "next-line"
+	if d != 1 {
+		name = "offset-" + itoa(d)
+	}
+	return &FixedOffset{page: page, offset: uint64(d), name: name}
+}
+
+// NewNextLine returns the baseline L2 next-line prefetcher (offset 1).
+func NewNextLine(page mem.PageSize) *FixedOffset { return NewFixedOffset(page, 1) }
+
+// Name implements L2Prefetcher.
+func (p *FixedOffset) Name() string { return p.name }
+
+// Offset returns the constant prefetch offset.
+func (p *FixedOffset) Offset() int { return int(p.offset) }
+
+// OnAccess implements L2Prefetcher.
+func (p *FixedOffset) OnAccess(a AccessInfo) []mem.LineAddr {
+	if !a.Eligible() {
+		return nil
+	}
+	target := a.Line + mem.LineAddr(p.offset)
+	if !p.page.SamePage(a.Line, target) {
+		return nil
+	}
+	return []mem.LineAddr{target}
+}
+
+// OnFill implements L2Prefetcher.
+func (p *FixedOffset) OnFill(mem.LineAddr, bool) {}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,57 @@
+package sbp
+
+import "bopsim/internal/mem"
+
+// Bloom is the sandbox: a Bloom filter recording "fake" prefetches. The
+// paper's SBP variant uses a 2048-bit filter indexed with 3 hash functions
+// (section 6.3). A Bloom filter never produces false negatives, so every
+// fake prefetch that would have been useful is credited; rare false
+// positives slightly flatter the candidate, which is inherent to the
+// sandbox method.
+type Bloom struct {
+	words  []uint64
+	nbits  uint64
+	hashes int
+}
+
+// NewBloom returns a filter with nbits bits (power of two) and k hashes.
+func NewBloom(nbits uint64, k int) *Bloom {
+	if nbits == 0 || nbits&(nbits-1) != 0 {
+		panic("sbp: Bloom size must be a power of two")
+	}
+	if k <= 0 {
+		panic("sbp: Bloom needs at least one hash")
+	}
+	return &Bloom{words: make([]uint64, nbits/64), nbits: nbits, hashes: k}
+}
+
+// bitFor derives the i-th bit position for line.
+func (b *Bloom) bitFor(line mem.LineAddr, i int) uint64 {
+	return mem.Mix64(uint64(line)*2654435761+uint64(i)*0x9e3779b97f4a7c15) & (b.nbits - 1)
+}
+
+// Add records a fake prefetch of line.
+func (b *Bloom) Add(line mem.LineAddr) {
+	for i := 0; i < b.hashes; i++ {
+		bit := b.bitFor(line, i)
+		b.words[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// Contains reports whether line may have been added (no false negatives).
+func (b *Bloom) Contains(line mem.LineAddr) bool {
+	for i := 0; i < b.hashes; i++ {
+		bit := b.bitFor(line, i)
+		if b.words[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter (done at every evaluation-period boundary).
+func (b *Bloom) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}

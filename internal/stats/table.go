@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of labelled numeric series and renders them in the
+// fixed-width layout used by cmd/experiments to regenerate the paper's
+// figures as text: one row per benchmark, one column per configuration.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []tableRow
+}
+
+type tableRow struct {
+	label  string
+	values []float64
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a labelled row. len(values) must equal len(t.Columns).
+func (t *Table) AddRow(label string, values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row %q has %d values, want %d", label, len(values), len(t.Columns)))
+	}
+	row := tableRow{label: label, values: make([]float64, len(values))}
+	copy(row.values, values)
+	t.rows = append(t.rows, row)
+}
+
+// AddGeoMeanRow appends a "GM" row with the per-column geometric mean of all
+// rows added so far, mirroring the rightmost cluster of the paper's graphs.
+func (t *Table) AddGeoMeanRow() {
+	values := make([]float64, len(t.Columns))
+	for col := range t.Columns {
+		xs := make([]float64, 0, len(t.rows))
+		for _, r := range t.rows {
+			xs = append(xs, r.values[col])
+		}
+		values[col] = GeoMean(xs)
+	}
+	t.AddRow("GM", values...)
+}
+
+// Rows returns the row labels in insertion order.
+func (t *Table) Rows() []string {
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.label
+	}
+	return out
+}
+
+// Value returns the cell at (rowLabel, colIndex) and whether it exists.
+func (t *Table) Value(rowLabel string, col int) (float64, bool) {
+	for _, r := range t.rows {
+		if r.label == rowLabel {
+			if col < 0 || col >= len(r.values) {
+				return 0, false
+			}
+			return r.values[col], true
+		}
+	}
+	return 0, false
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	labelWidth := len("benchmark")
+	for _, r := range t.rows {
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	colWidths := make([]int, len(t.Columns))
+	total := labelWidth + 2
+	for i, c := range t.Columns {
+		colWidths[i] = 12
+		if len(c)+2 > colWidths[i] {
+			colWidths[i] = len(c) + 2
+		}
+		total += colWidths[i]
+	}
+	fmt.Fprintf(w, "## %s\n", t.Title)
+	fmt.Fprintf(w, "%-*s", labelWidth+2, "benchmark")
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%*s", colWidths[i], c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.rows {
+		fmt.Fprintf(w, "%-*s", labelWidth+2, r.label)
+		for i, v := range r.values {
+			fmt.Fprintf(w, "%*.3f", colWidths[i], v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package stride
+
+import (
+	"testing"
+
+	"bopsim/internal/mem"
+)
+
+// train feeds n accesses at pc with the given byte stride starting at base,
+// calling Update only (as if every access hit the DL1).
+func train(p *Prefetcher, pc uint64, base mem.Addr, stride int64, n int) mem.Addr {
+	a := base
+	for i := 0; i < n; i++ {
+		p.Update(pc, a)
+		a = mem.Addr(int64(a) + stride)
+	}
+	return a
+}
+
+func TestConfidenceBuildsBeforePrefetch(t *testing.T) {
+	p := New()
+	a := train(p, 0x400, 0x10000, 64, 5)
+	if _, ok := p.Query(0x400, a); ok {
+		t.Error("prefetch issued with insufficient confidence")
+	}
+}
+
+func TestPrefetchAfterFullConfidence(t *testing.T) {
+	p := New()
+	a := train(p, 0x400, 0x10000, 96, ConfidenceMax+2)
+	pref, ok := p.Query(0x400, a)
+	if !ok {
+		t.Fatal("no prefetch from a fully confident entry")
+	}
+	want := mem.Addr(int64(a) + DistanceFactor*96)
+	if pref != want {
+		t.Errorf("prefetch address %#x, want %#x (current + 16*stride)", pref, want)
+	}
+}
+
+func TestStrideChangeResetsConfidence(t *testing.T) {
+	p := New()
+	a := train(p, 0x400, 0x10000, 64, ConfidenceMax+2)
+	p.Update(0x400, a+1000) // break the stride
+	if _, ok := p.Query(0x400, a+1000+64); ok {
+		t.Error("prefetch issued right after a stride break")
+	}
+}
+
+func TestZeroStrideNeverPrefetches(t *testing.T) {
+	p := New()
+	for i := 0; i < ConfidenceMax+5; i++ {
+		p.Update(0x400, 0x2000) // same address repeatedly
+	}
+	if _, ok := p.Query(0x400, 0x2000); ok {
+		t.Error("prefetch issued for a zero stride")
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New()
+	a := train(p, 0x400, 0x100000, -64, ConfidenceMax+2)
+	pref, ok := p.Query(0x400, a)
+	if !ok {
+		t.Fatal("no prefetch on a negative stride")
+	}
+	if pref >= a {
+		t.Errorf("negative-stride prefetch went forward: %#x >= %#x", pref, a)
+	}
+}
+
+func TestFilterSuppressesRepeats(t *testing.T) {
+	p := New()
+	a := train(p, 0x400, 0x10000, 8, ConfidenceMax+2)
+	// Stride 8 < line size: consecutive prefetch targets often share a
+	// line; the 16-entry filter must suppress the duplicates.
+	if _, ok := p.Query(0x400, a); !ok {
+		t.Fatal("first prefetch missing")
+	}
+	p.Update(0x400, a)
+	if _, ok := p.Query(0x400, a+8); ok {
+		t.Error("duplicate same-line prefetch not filtered")
+	}
+	if p.Stats().Filtered == 0 {
+		t.Error("filter counter did not advance")
+	}
+}
+
+func TestTableLRUEviction(t *testing.T) {
+	p := New()
+	// Fill the table with TableEntries PCs, then add one more: the first
+	// (least recently updated) must be gone.
+	for pc := uint64(0); pc < TableEntries; pc++ {
+		p.Update(0x1000+pc*4, mem.Addr(pc*0x100))
+	}
+	p.Update(0x9999, 0x500000)
+	if e := p.lookup(0x1000); e != nil {
+		t.Error("LRU entry survived eviction")
+	}
+	if e := p.lookup(0x9999); e == nil {
+		t.Error("new entry missing")
+	}
+}
+
+func TestDistinctPCsTrackIndependently(t *testing.T) {
+	p := New()
+	a1 := train(p, 0x400, 0x10000, 64, ConfidenceMax+2)
+	var a2 mem.Addr = 0x800000
+	for i := 0; i < ConfidenceMax+2; i++ {
+		p.Update(0x800, a2)
+		a2 += 128
+	}
+	if _, ok := p.Query(0x400, a1); !ok {
+		t.Error("pc 0x400 lost confidence")
+	}
+	pref, ok := p.Query(0x800, a2)
+	if !ok {
+		t.Fatal("pc 0x800 not confident")
+	}
+	if want := a2 + DistanceFactor*128; pref != want {
+		t.Errorf("pc 0x800 prefetch %#x, want %#x", pref, want)
+	}
+}
+
+func TestQueryUnknownPC(t *testing.T) {
+	p := New()
+	if _, ok := p.Query(0xdead, 0x1000); ok {
+		t.Error("prefetch from unknown PC")
+	}
+	if p.Stats().TableMiss != 1 {
+		t.Error("table miss not counted")
+	}
+}
+
+func TestQueryDoesNotUnderflow(t *testing.T) {
+	p := New()
+	// Large negative stride near address zero must not wrap.
+	a := train(p, 0x400, 1<<20, -65536, ConfidenceMax+2)
+	_, _ = p.Query(0x400, a) // may or may not prefetch; must not produce a huge address
+	a = train(p, 0x404, 1<<10, -256, ConfidenceMax+4)
+	if pref, ok := p.Query(0x404, a); ok && int64(pref) < 0 {
+		t.Errorf("prefetch address underflowed: %#x", pref)
+	}
+}

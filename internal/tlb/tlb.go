@@ -1,0 +1,119 @@
+// Package tlb models the data-TLB hierarchy of the baseline
+// microarchitecture (Table 1: DTLB1 64 entries, shared TLB2 512 entries).
+// TLB behaviour is what differentiates the paper's 4KB-page and 4MB-page
+// baselines (Figure 2): with large pages nearly every access hits the DTLB1,
+// while 4KB pages make large-working-set benchmarks pay frequent TLB2
+// lookups and page walks.
+//
+// The L2 prefetchers never consult the TLB (paper section 5.6); the DL1
+// stride prefetcher does, and drops prefetches that miss in the TLB2
+// (section 5.5).
+package tlb
+
+import "bopsim/internal/mem"
+
+// Latencies added to a memory access on the corresponding TLB outcome, in
+// core cycles. A DTLB1 hit is folded into the DL1 access latency.
+const (
+	TLB2HitPenalty  = 7
+	PageWalkPenalty = 50
+)
+
+// tlbLevel is one fully-associative translation buffer with true LRU.
+type tlbLevel struct {
+	entries int
+	stamps  map[uint64]uint64
+	clock   uint64
+	hits    uint64
+	misses  uint64
+}
+
+func newTLBLevel(entries int) *tlbLevel {
+	return &tlbLevel{entries: entries, stamps: make(map[uint64]uint64, entries)}
+}
+
+// access looks up vpn, refreshing LRU state; insert on miss.
+func (t *tlbLevel) access(vpn uint64) (hit bool) {
+	t.clock++
+	if _, ok := t.stamps[vpn]; ok {
+		t.stamps[vpn] = t.clock
+		t.hits++
+		return true
+	}
+	t.misses++
+	t.insert(vpn)
+	return false
+}
+
+// probe looks up vpn without inserting on miss (used by the DL1 stride
+// prefetcher's TLB2 check, which drops the prefetch on a miss rather than
+// walking the page table).
+func (t *tlbLevel) probe(vpn uint64) bool {
+	if _, ok := t.stamps[vpn]; ok {
+		t.clock++
+		t.stamps[vpn] = t.clock
+		return true
+	}
+	return false
+}
+
+func (t *tlbLevel) insert(vpn uint64) {
+	if len(t.stamps) >= t.entries {
+		victim, best := uint64(0), ^uint64(0)
+		for v, s := range t.stamps {
+			if s < best {
+				victim, best = v, s
+			}
+		}
+		delete(t.stamps, victim)
+	}
+	t.stamps[vpn] = t.clock
+}
+
+// Hierarchy is a per-core DTLB1 backed by a TLB2.
+type Hierarchy struct {
+	page  mem.PageSize
+	dtlb1 *tlbLevel
+	tlb2  *tlbLevel
+	// Walks counts page-table walks (TLB2 misses on demand accesses).
+	Walks uint64
+}
+
+// New returns a TLB hierarchy for the given page size with the baseline
+// entry counts (DTLB1 64, TLB2 512).
+func New(page mem.PageSize) *Hierarchy {
+	return &Hierarchy{page: page, dtlb1: newTLBLevel(64), tlb2: newTLBLevel(512)}
+}
+
+// NewWithSizes returns a TLB hierarchy with custom entry counts, for tests
+// and sensitivity studies.
+func NewWithSizes(page mem.PageSize, dtlb1, tlb2 int) *Hierarchy {
+	return &Hierarchy{page: page, dtlb1: newTLBLevel(dtlb1), tlb2: newTLBLevel(tlb2)}
+}
+
+// Access translates the virtual address of a demand load/store and returns
+// the extra latency in cycles caused by TLB misses (0 on a DTLB1 hit).
+func (h *Hierarchy) Access(va mem.Addr) uint64 {
+	vpn := h.page.PageOf(va)
+	if h.dtlb1.access(vpn) {
+		return 0
+	}
+	if h.tlb2.access(vpn) {
+		return TLB2HitPenalty
+	}
+	h.Walks++
+	return TLB2HitPenalty + PageWalkPenalty
+}
+
+// ProbeTLB2 reports whether the page of va is present in the TLB2 without
+// allocating on miss. The DL1 stride prefetcher uses this and drops the
+// prefetch when it returns false.
+func (h *Hierarchy) ProbeTLB2(va mem.Addr) bool {
+	return h.tlb2.probe(h.page.PageOf(va))
+}
+
+// DTLB1Misses returns the number of DTLB1 misses observed.
+func (h *Hierarchy) DTLB1Misses() uint64 { return h.dtlb1.misses }
+
+// TLB2Misses returns the number of TLB2 misses observed.
+func (h *Hierarchy) TLB2Misses() uint64 { return h.tlb2.misses }

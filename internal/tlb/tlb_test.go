@@ -1,0 +1,96 @@
+package tlb
+
+import (
+	"testing"
+
+	"bopsim/internal/mem"
+)
+
+func TestFirstAccessWalks(t *testing.T) {
+	h := New(mem.Page4K)
+	if lat := h.Access(0x1000); lat != TLB2HitPenalty+PageWalkPenalty {
+		t.Errorf("cold access latency = %d, want %d", lat, TLB2HitPenalty+PageWalkPenalty)
+	}
+	if h.Walks != 1 {
+		t.Errorf("Walks = %d, want 1", h.Walks)
+	}
+}
+
+func TestSecondAccessHitsDTLB1(t *testing.T) {
+	h := New(mem.Page4K)
+	h.Access(0x1000)
+	if lat := h.Access(0x1008); lat != 0 {
+		t.Errorf("warm access latency = %d, want 0", lat)
+	}
+}
+
+func TestDTLB1EvictionFallsBackToTLB2(t *testing.T) {
+	h := NewWithSizes(mem.Page4K, 2, 8)
+	h.Access(0x1000)
+	h.Access(0x2000)
+	h.Access(0x3000) // evicts page of 0x1000 from DTLB1 but not TLB2
+	if lat := h.Access(0x1000); lat != TLB2HitPenalty {
+		t.Errorf("TLB2-hit latency = %d, want %d", lat, TLB2HitPenalty)
+	}
+}
+
+func TestTrueLRUInDTLB1(t *testing.T) {
+	h := NewWithSizes(mem.Page4K, 2, 64)
+	h.Access(0x1000)
+	h.Access(0x2000)
+	h.Access(0x1000) // page 1 is now MRU
+	h.Access(0x3000) // should evict page 2
+	if lat := h.Access(0x1000); lat != 0 {
+		t.Error("MRU page was evicted from DTLB1")
+	}
+	if lat := h.Access(0x2000); lat == 0 {
+		t.Error("LRU page was not evicted from DTLB1")
+	}
+}
+
+func Test4MBPagesCoverMoreAddresses(t *testing.T) {
+	small := New(mem.Page4K)
+	big := New(mem.Page4M)
+	// Stride through 16MB at 4KB steps: 4096 distinct 4KB pages but only 4
+	// distinct 4MB pages.
+	for pass := 0; pass < 2; pass++ {
+		for a := mem.Addr(0); a < 16<<20; a += 4096 {
+			small.Access(a)
+			big.Access(a)
+		}
+	}
+	if big.Walks > 4 {
+		t.Errorf("4MB pages walked %d times, want <= 4", big.Walks)
+	}
+	if small.Walks <= big.Walks {
+		t.Errorf("4KB walks (%d) not greater than 4MB walks (%d)", small.Walks, big.Walks)
+	}
+}
+
+func TestProbeTLB2DoesNotAllocate(t *testing.T) {
+	h := New(mem.Page4K)
+	if h.ProbeTLB2(0x5000) {
+		t.Error("probe hit in empty TLB2")
+	}
+	// Still absent: probe must not allocate.
+	if h.ProbeTLB2(0x5000) {
+		t.Error("probe allocated an entry")
+	}
+	h.Access(0x5000)
+	if !h.ProbeTLB2(0x5000) {
+		t.Error("probe missed after demand access")
+	}
+}
+
+func TestMissCountersAdvance(t *testing.T) {
+	h := New(mem.Page4K)
+	h.Access(0x1000)
+	h.Access(0x2000)
+	h.Access(0x1000)
+	if h.DTLB1Misses() != 2 {
+		t.Errorf("DTLB1Misses = %d, want 2", h.DTLB1Misses())
+	}
+	if h.TLB2Misses() != 2 {
+		t.Errorf("TLB2Misses = %d, want 2", h.TLB2Misses())
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+// File-based traces: the paper's simulator is trace driven (section 5), so
+// the library supports recording any Generator's instruction stream to a
+// compact binary file and replaying it later. Replay wraps around at the
+// end of the file, preserving the "infinite stream" Generator contract
+// (the paper similarly stitches samples into a looped trace).
+//
+// Format (little endian):
+//
+//	magic   [8]byte  "BOTRACE1"
+//	count   uint64   number of records
+//	records count x {op uint8, flags uint8, pc uint64, va uint64}
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"bopsim/internal/mem"
+)
+
+const traceMagic = "BOTRACE1"
+
+const flagDepPrevLoad = 1 << 0
+
+// WriteTrace records n instructions from gen to w.
+func WriteTrace(w io.Writer, gen Generator, n uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return fmt.Errorf("trace: writing magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, n); err != nil {
+		return fmt.Errorf("trace: writing count: %w", err)
+	}
+	var rec [18]byte
+	for i := uint64(0); i < n; i++ {
+		inst := gen.Next()
+		rec[0] = byte(inst.Op)
+		rec[1] = 0
+		if inst.DepPrevLoad {
+			rec[1] |= flagDepPrevLoad
+		}
+		binary.LittleEndian.PutUint64(rec[2:], inst.PC)
+		binary.LittleEndian.PutUint64(rec[10:], uint64(inst.VA))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTraceFile records n instructions from gen into the named file.
+func WriteTraceFile(path string, gen Generator, n uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := WriteTrace(f, gen, n); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FileTrace replays a recorded trace, wrapping at the end. It implements
+// Generator. The whole trace is held in memory (18 bytes per instruction),
+// which keeps replay allocation-free and deterministic.
+type FileTrace struct {
+	name  string
+	insts []Inst
+	idx   int
+	// Wraps counts how many times the trace restarted from the beginning.
+	Wraps uint64
+}
+
+// ReadTrace parses a recorded trace from r.
+func ReadTrace(name string, r io.Reader) (*FileTrace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	const maxCount = 1 << 30 // 18 GiB of records; refuse anything sillier
+	if count > maxCount {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	ft := &FileTrace{name: name, insts: make([]Inst, count)}
+	var rec [18]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+		}
+		op := Op(rec[0])
+		if op > OpStore {
+			return nil, fmt.Errorf("trace: record %d has invalid op %d", i, op)
+		}
+		ft.insts[i] = Inst{
+			Op:          op,
+			DepPrevLoad: rec[1]&flagDepPrevLoad != 0,
+			PC:          binary.LittleEndian.Uint64(rec[2:]),
+			VA:          mem.Addr(binary.LittleEndian.Uint64(rec[10:])),
+		}
+	}
+	return ft, nil
+}
+
+// OpenTraceFile loads a recorded trace from the named file.
+func OpenTraceFile(path string) (*FileTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(path, f)
+}
+
+// Name implements Generator.
+func (t *FileTrace) Name() string { return t.name }
+
+// Len returns the number of recorded instructions.
+func (t *FileTrace) Len() int { return len(t.insts) }
+
+// Next implements Generator, wrapping at the end of the recording.
+func (t *FileTrace) Next() Inst {
+	inst := t.insts[t.idx]
+	t.idx++
+	if t.idx == len(t.insts) {
+		t.idx = 0
+		t.Wraps++
+	}
+	return inst
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen := MustWorkload("433.milc", 5)
+	var buf bytes.Buffer
+	const n = 5000
+	if err := WriteTrace(&buf, gen, n); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := ReadTrace("milc", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Len() != n {
+		t.Fatalf("Len = %d, want %d", ft.Len(), n)
+	}
+	// Replaying must match a fresh generator with the same seed.
+	ref := MustWorkload("433.milc", 5)
+	for i := 0; i < n; i++ {
+		if got, want := ft.Next(), ref.Next(); got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestTraceWraps(t *testing.T) {
+	gen := MustWorkload("416.gamess", 1)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, gen, 10); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := ReadTrace("g", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ft.Next()
+	for i := 0; i < 9; i++ {
+		ft.Next()
+	}
+	if ft.Wraps != 1 {
+		t.Errorf("Wraps = %d, want 1", ft.Wraps)
+	}
+	if got := ft.Next(); got != first {
+		t.Errorf("wrap did not restart from the first record")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	if err := WriteTraceFile(path, MustWorkload("470.lbm", 3), 1000); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Len() != 1000 {
+		t.Errorf("Len = %d", ft.Len())
+	}
+}
+
+func TestTraceBadInputs(t *testing.T) {
+	if _, err := ReadTrace("x", bytes.NewReader([]byte("NOTATRACE___"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated file: magic + count but no records.
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	buf.Write([]byte{5, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadTrace("x", &buf); err == nil {
+		t.Error("truncated trace accepted")
+	}
+	// Empty trace.
+	buf.Reset()
+	buf.WriteString(traceMagic)
+	buf.Write(make([]byte, 8))
+	if _, err := ReadTrace("x", &buf); err == nil {
+		t.Error("empty trace accepted")
+	}
+	// Invalid opcode.
+	buf.Reset()
+	buf.WriteString(traceMagic)
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	rec := make([]byte, 18)
+	rec[0] = 99
+	buf.Write(rec)
+	if _, err := ReadTrace("x", &buf); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	if _, err := OpenTraceFile("/does/not/exist"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,45 @@
+// Package trace defines the instruction stream format consumed by the core
+// model and the synthetic workload generators standing in for the paper's
+// SPEC CPU2006 traces (see DESIGN.md for the substitution rationale). Each
+// generator is an infinite, deterministic instruction stream whose memory
+// behaviour models the published access-pattern characteristics of one
+// benchmark: long sequential streams, constant-stride streams with the
+// periods reported in Figure 8, interleaved streams, pointer chasing, or
+// cache-resident compute.
+package trace
+
+import "bopsim/internal/mem"
+
+// Op is an instruction class.
+type Op uint8
+
+// Instruction classes. The timing model only distinguishes ALU work from
+// loads and stores.
+const (
+	OpALU Op = iota
+	OpLoad
+	OpStore
+)
+
+// Inst is one dynamic instruction.
+type Inst struct {
+	Op Op
+	// PC identifies the static instruction; the DL1 stride prefetcher
+	// indexes its table with it.
+	PC uint64
+	// VA is the virtual byte address accessed (loads/stores only).
+	VA mem.Addr
+	// DepPrevLoad marks a load whose address depends on the data of the
+	// most recent preceding load (pointer chasing): the core cannot issue
+	// it before that load completes.
+	DepPrevLoad bool
+}
+
+// Generator produces an infinite instruction stream. Generators are not
+// safe for concurrent use; every simulated core owns its own.
+type Generator interface {
+	// Name identifies the workload (e.g. "429.mcf").
+	Name() string
+	// Next returns the next dynamic instruction.
+	Next() Inst
+}

@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"fmt"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/rng"
+)
+
+// Workload mixes weighted pattern components with ALU filler instructions.
+type Workload struct {
+	name       string
+	memPer1000 int // memory instructions per 1000 instructions
+	comps      []weightedComp
+	weightSum  int
+	rand       *rng.Stream
+	aluPC      uint64
+}
+
+type weightedComp struct {
+	weight int
+	comp   component
+}
+
+// Name implements Generator.
+func (w *Workload) Name() string { return w.name }
+
+// Next implements Generator.
+func (w *Workload) Next() Inst {
+	if w.rand.Intn(1000) < w.memPer1000 {
+		pick := w.rand.Intn(w.weightSum)
+		for _, wc := range w.comps {
+			pick -= wc.weight
+			if pick < 0 {
+				return wc.comp.next(w.rand)
+			}
+		}
+	}
+	w.aluPC++
+	return Inst{Op: OpALU, PC: 0x1000 + (w.aluPC%64)*4}
+}
+
+// spec is the declarative description of one benchmark stand-in.
+type spec struct {
+	memPer1000 int
+	build      func(seed uint64) []weightedComp
+}
+
+const (
+	kb = mem.Addr(1) << 10
+	mb = mem.Addr(1) << 20
+)
+
+// regionBase spreads component address spaces far apart so that distinct
+// components never share pages.
+func regionBase(i int) mem.Addr { return mem.Addr(1)<<36 + mem.Addr(i)<<30 }
+
+// specs maps benchmark names to their generators. The memory intensities
+// are calibrated so DRAM accesses per kilo-instruction land near the
+// paper's Figure 13, and the pattern choices follow the behaviours the
+// paper reports: 433-like speedup peaks at offset multiples of 32 (16-word
+// chunks with 2KB jumps), 459-like peaks near 29.3 lines, 470-like peaks at
+// multiples of 5 with 5k+3 secondaries, 462-like long sequential streams
+// where only large offsets are timely, 429-like pointer chasing over a huge
+// working set, and cache-resident compute for the benchmarks Figures 5-6
+// show as insensitive to L2 prefetching.
+var specs = map[string]spec{
+	"400.perlbench": {320, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{3, newRandom(0x4000, 16, regionBase(0), 512*kb, 25, false)},
+			{1, newStream(0x4100, regionBase(1), 8, 1*mb, 20)},
+		}
+	}},
+	"401.bzip2": {330, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{2, newStream(0x4000, regionBase(0), 8, 2*mb, 30)},
+			{1, newRandom(0x4100, 8, regionBase(1), 1*mb, 20, false)},
+		}
+	}},
+	"403.gcc": {340, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{2, newStream(0x4000, regionBase(0), 8, 6*mb, 25)},
+			{1, newStream(0x4100, regionBase(1), 8, 4*mb, 10)},
+			{1, newRandom(0x4200, 16, regionBase(2), 8*mb, 20, false)},
+		}
+	}},
+	"410.bwaves": {350, func(seed uint64) []weightedComp {
+		var cs []weightedComp
+		for i := 0; i < 5; i++ {
+			cs = append(cs, weightedComp{1, newStream(0x4000+uint64(i)*0x100, regionBase(i), 4, 48*mb, 15)})
+		}
+		return cs
+	}},
+	"416.gamess": {250, func(seed uint64) []weightedComp {
+		return []weightedComp{{1, newRandom(0x4000, 8, regionBase(0), 128*kb, 25, false)}}
+	}},
+	"429.mcf": {220, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newRandom(0x4000, 1, regionBase(0), 384*mb, 0, true)},
+			{2, newRandom(0x4100, 8, regionBase(1), 1*mb, 20, false)},
+			{3, newStream(0x4200, regionBase(2), 8, 16*mb, 10)},
+		}
+	}},
+	"433.milc": {260, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newStripes(0x4000, regionBase(0), 32, 8, 64*mb, 256, 20)},
+		}
+	}},
+	"434.zeusmp": {200, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newChunk(0x4000, regionBase(0), 8, 128, 12*mb, 20)},
+			{1, newChunk(0x4100, regionBase(1), 8, 128, 12*mb, 20)},
+		}
+	}},
+	"435.gromacs": {300, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newStream(0x4000, regionBase(0), 8, 512*kb, 20)},
+			{1, newRandom(0x4100, 8, regionBase(1), 256*kb, 20, false)},
+		}
+	}},
+	"436.cactusADM": {200, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newChunk(0x4000, regionBase(0), 8, 192, 12*mb, 25)},
+			{1, newChunk(0x4100, regionBase(1), 8, 192, 12*mb, 25)},
+		}
+	}},
+	"437.leslie3d": {350, func(seed uint64) []weightedComp {
+		var cs []weightedComp
+		for i := 0; i < 4; i++ {
+			cs = append(cs, weightedComp{1, newStream(0x4000+uint64(i)*0x100, regionBase(i), 8, 24*mb, 20)})
+		}
+		return cs
+	}},
+	"444.namd": {260, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{2, newRandom(0x4000, 8, regionBase(0), 512*kb, 20, false)},
+			{1, newStream(0x4100, regionBase(1), 8, 1*mb, 15)},
+		}
+	}},
+	"445.gobmk": {300, func(seed uint64) []weightedComp {
+		return []weightedComp{{1, newRandom(0x4000, 16, regionBase(0), 1*mb, 25, false)}}
+	}},
+	"447.dealII": {340, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{2, newStream(0x4000, regionBase(0), 8, 4*mb, 20)},
+			{1, newRandom(0x4100, 8, regionBase(1), 2*mb, 20, false)},
+		}
+	}},
+	"450.soplex": {280, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{2, newStream(0x4000, regionBase(0), 8, 32*mb, 20)},
+			{2, newStream(0x4100, regionBase(1), 8, 32*mb, 20)},
+			{1, newRandom(0x4200, 8, regionBase(2), 16*mb, 15, false)},
+		}
+	}},
+	"453.povray": {250, func(seed uint64) []weightedComp {
+		return []weightedComp{{1, newRandom(0x4000, 16, regionBase(0), 256*kb, 20, false)}}
+	}},
+	"454.calculix": {300, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newStream(0x4000, regionBase(0), 8, 2*mb, 20)},
+			{1, newRandom(0x4100, 8, regionBase(1), 512*kb, 20, false)},
+		}
+	}},
+	"456.hmmer": {400, func(seed uint64) []weightedComp {
+		return []weightedComp{{1, newStream(0x4000, regionBase(0), 4, 1*mb, 25)}}
+	}},
+	"458.sjeng": {280, func(seed uint64) []weightedComp {
+		return []weightedComp{{1, newRandom(0x4000, 16, regionBase(0), 2*mb, 25, false)}}
+	}},
+	"459.GemsFDTD": {200, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newStripesPattern(0x4000, regionBase(0), 24, []int64{29, 30, 29}, 8, 48*mb, 256, 15)},
+		}
+	}},
+	"462.libquantum": {300, func(seed uint64) []weightedComp {
+		return []weightedComp{{1, newStream(0x4000, regionBase(0), 4, 64*mb, 30)}}
+	}},
+	"464.h264ref": {300, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{2, newStream(0x4000, regionBase(0), 8, 512*kb, 25)},
+			{1, newRandom(0x4100, 16, regionBase(1), 1*mb, 20, false)},
+		}
+	}},
+	"465.tonto": {280, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newChunk(0x4000, regionBase(0), 8, 512, 8*mb, 15)},
+			{1, newChunk(0x4100, regionBase(1), 8, 512, 8*mb, 15)},
+			{1, newRandom(0x4200, 8, regionBase(2), 512*kb, 20, false)},
+		}
+	}},
+	"470.lbm": {260, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newStripes(0x4000, regionBase(0), 5, 8, 48*mb, 64, 45)},
+		}
+	}},
+	"471.omnetpp": {320, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{2, newRandom(0x4000, 16, regionBase(0), 16*mb, 25, false)},
+			{1, newStream(0x4100, regionBase(1), 8, 8*mb, 20)},
+		}
+	}},
+	"473.astar": {300, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newRandom(0x4000, 1, regionBase(0), 8*mb, 10, true)},
+			{1, newRandom(0x4100, 8, regionBase(1), 4*mb, 20, false)},
+		}
+	}},
+	"481.wrf": {200, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newChunk(0x4000, regionBase(0), 8, 128, 16*mb, 20)},
+			{1, newChunk(0x4100, regionBase(1), 8, 128, 16*mb, 20)},
+		}
+	}},
+	"482.sphinx3": {330, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{1, newStream(0x4000, regionBase(0), 4, 8*mb, 10)},
+			{1, newStream(0x4100, regionBase(1), 4, 8*mb, 10)},
+			{1, newStream(0x4200, regionBase(2), 4, 8*mb, 10)},
+		}
+	}},
+	"483.xalancbmk": {320, func(seed uint64) []weightedComp {
+		return []weightedComp{
+			{2, newRandom(0x4000, 16, regionBase(0), 4*mb, 20, false)},
+			{1, newRandom(0x4100, 1, regionBase(1), 2*mb, 10, true)},
+		}
+	}},
+}
+
+// Benchmarks returns the 29 SPEC CPU2006 stand-in names in the paper's
+// order.
+func Benchmarks() []string {
+	return []string{
+		"400.perlbench", "401.bzip2", "403.gcc", "410.bwaves", "416.gamess",
+		"429.mcf", "433.milc", "434.zeusmp", "435.gromacs", "436.cactusADM",
+		"437.leslie3d", "444.namd", "445.gobmk", "447.dealII", "450.soplex",
+		"453.povray", "454.calculix", "456.hmmer", "458.sjeng",
+		"459.GemsFDTD", "462.libquantum", "464.h264ref", "465.tonto",
+		"470.lbm", "471.omnetpp", "473.astar", "481.wrf", "482.sphinx3",
+		"483.xalancbmk",
+	}
+}
+
+// NewWorkload builds the named benchmark stand-in with the given seed.
+func NewWorkload(name string, seed uint64) (*Workload, error) {
+	s, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown workload %q", name)
+	}
+	comps := s.build(seed)
+	sum := 0
+	for _, c := range comps {
+		sum += c.weight
+	}
+	return &Workload{
+		name:       name,
+		memPer1000: s.memPer1000,
+		comps:      comps,
+		weightSum:  sum,
+		rand:       rng.New(seed),
+	}, nil
+}
+
+// MustWorkload is NewWorkload that panics on unknown names, for tests and
+// examples.
+func MustWorkload(name string, seed uint64) *Workload {
+	w, err := NewWorkload(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// NewThrasher returns the cache-thrashing micro-benchmark of section 5.1:
+// it writes a huge array, going through it quickly and sequentially,
+// consuming L3 capacity and memory bandwidth on cores 1-3.
+func NewThrasher(seed uint64) *Workload {
+	return &Workload{
+		name:       "microthrash",
+		memPer1000: 500,
+		comps: []weightedComp{
+			{1, newStream(0x8000, regionBase(16), 64, 256*mb, 100)},
+		},
+		weightSum: 1,
+		rand:      rng.New(seed),
+	}
+}

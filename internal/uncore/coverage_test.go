@@ -1,0 +1,111 @@
+package uncore
+
+import (
+	"testing"
+
+	"bopsim/internal/dram"
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+	"bopsim/internal/sbp"
+)
+
+func TestSBPGetsPreIssueTagCheck(t *testing.T) {
+	cfg := DefaultConfig(1, mem.Page4K)
+	h := New(cfg, func(int) prefetch.L2Prefetcher {
+		return sbp.New(cfg.Page, sbp.DefaultParams())
+	}, nil)
+	if !h.preIssueTagCheck[0] {
+		t.Error("SBP did not get the extra pre-issue L2 tag check (section 6.3)")
+	}
+	h2 := New(cfg, func(int) prefetch.L2Prefetcher {
+		return prefetch.NewNextLine(cfg.Page)
+	}, nil)
+	if h2.preIssueTagCheck[0] {
+		t.Error("next-line wrongly got the SBP-only tag check")
+	}
+}
+
+func TestNilPrefetcherFactoryMeansNone(t *testing.T) {
+	h := New(DefaultConfig(1, mem.Page4K), nil, nil)
+	if h.L2Prefetcher(0).Name() != "none" {
+		t.Errorf("prefetcher = %s, want none", h.L2Prefetcher(0).Name())
+	}
+	h2 := New(DefaultConfig(1, mem.Page4K), func(int) prefetch.L2Prefetcher { return nil }, nil)
+	if h2.L2Prefetcher(0).Name() != "none" {
+		t.Error("nil from factory not mapped to None")
+	}
+}
+
+func TestOccupancyTelemetryAdvances(t *testing.T) {
+	h := New(DefaultConfig(1, mem.Page4K), nil, nil)
+	for now := uint64(0); now < 100; now++ {
+		h.Access(0, 0x400, mem.Addr(0x100000+now*4096), false, now)
+		h.Tick(now)
+	}
+	s := h.Stats()
+	if s.TickSamples != 100 {
+		t.Errorf("TickSamples = %d, want 100", s.TickSamples)
+	}
+	if s.MSHROccupancySum == 0 {
+		t.Error("MSHR occupancy never sampled above zero under a miss flood")
+	}
+	if s.L2FQOccupancySum == 0 {
+		t.Error("L2 fill queue occupancy never above zero under a miss flood")
+	}
+}
+
+func TestWritebackRetryWhenDRAMWriteQueueFull(t *testing.T) {
+	// Force the pendingWB path: shrink the DRAM write queue and push many
+	// dirty evictions at once.
+	p := dram.DefaultParams(1)
+	p.WriteQueueLen = 1
+	memory := dram.New(p)
+	cfg := DefaultConfig(1, mem.Page4K)
+	h := New(cfg, nil, memory)
+
+	// Queue several writebacks directly; with a 1-entry write queue most
+	// must buffer in pendingWB and drain over subsequent ticks.
+	for i := 0; i < 8; i++ {
+		h.writebackToDRAM(mem.LineAddr(1000+i*977), 0)
+	}
+	if len(h.pendingWB) == 0 {
+		t.Fatal("no writebacks buffered despite a full write queue")
+	}
+	var now uint64
+	for ; now < 200000 && !h.Drained(); now++ {
+		h.Tick(now)
+	}
+	if !h.Drained() {
+		t.Fatal("buffered writebacks never drained")
+	}
+	if got := memory.TotalStats().Writes; got != 8 {
+		t.Errorf("DRAM writes = %d, want 8", got)
+	}
+}
+
+func TestConfigLatenciesRespected(t *testing.T) {
+	// An L2 hit must complete in DL1+L2 latency, not a DRAM round trip.
+	h := New(DefaultConfig(1, mem.Page4K), nil, nil)
+	// Warm the line into DL1+L2, then evict it from DL1 only by filling
+	// the DL1 set; simplest: access once, drain, invalidate the DL1 copy.
+	fut := h.Access(0, 0x400, 0x10000, false, 0)
+	var now uint64
+	for ; !fut.DoneBy(now); now++ {
+		h.Tick(now)
+	}
+	for ; !h.Drained(); now++ {
+		h.Tick(now)
+	}
+	line := h.translators[0].TranslateLine(mem.LineOf(0x10000))
+	h.dl1[0].Invalidate(line)
+	start := now + 10
+	fut2 := h.Access(0, 0x404, 0x10000, false, start)
+	for ; !fut2.Resolved(); now++ {
+		h.Tick(now)
+	}
+	lat := fut2.Cycle() - start
+	want := h.cfg.DL1Latency + h.cfg.L2Latency
+	if lat > want+2 {
+		t.Errorf("L2-hit latency = %d cycles, want about %d", lat, want)
+	}
+}

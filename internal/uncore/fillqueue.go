@@ -1,0 +1,87 @@
+package uncore
+
+import (
+	"bopsim/internal/dram"
+	"bopsim/internal/mem"
+)
+
+// fillEntry is one slot of a fill queue: a block on its way into a cache.
+// The tag and request type are associatively searchable (the paper stores
+// them in a separate CAM) so that a later demand miss can be merged onto
+// the in-flight request, promoting it from prefetch to demand (section 5.4).
+type fillEntry struct {
+	line mem.LineAddr
+	core int
+	// fut resolves when the block's data is available at this level.
+	fut *dram.Future
+	// isPrefetch records the original request type; promoted flips the
+	// effective type to demand without losing the information that the
+	// block started as a prefetch (a promoted prefetch is a late prefetch).
+	isPrefetch bool
+	promoted   bool
+	// fillL1 forwards the block to the DL1 when it fills the L2 (demand
+	// data requests and promoted prefetches).
+	fillL1 bool
+	// isWrite marks the originating demand as a store (the DL1 copy is
+	// dirtied on fill).
+	isWrite bool
+	// l1pf marks a DL1 stride-prefetch request: the DL1 copy gets its
+	// prefetch bit set on fill.
+	l1pf bool
+	// waiters are the core-visible completion futures resolved when this
+	// entry fills its cache.
+	waiters []*dram.Future
+	// needsDRAM marks an L3 fill entry whose memory read could not be
+	// enqueued yet (read queue full); retried every cycle.
+	needsDRAM bool
+}
+
+// fillQueue is a bounded FIFO of fillEntry with CAM search by line address.
+type fillQueue struct {
+	entries []*fillEntry
+	cap     int
+}
+
+func newFillQueue(capacity int) *fillQueue {
+	return &fillQueue{cap: capacity}
+}
+
+func (q *fillQueue) full() bool { return len(q.entries) >= q.cap }
+func (q *fillQueue) len() int   { return len(q.entries) }
+
+// push appends e; the caller must have checked full().
+func (q *fillQueue) push(e *fillEntry) {
+	if q.full() {
+		panic("uncore: fill queue overflow")
+	}
+	q.entries = append(q.entries, e)
+}
+
+// find returns the entry for line, or nil (the CAM search).
+func (q *fillQueue) find(line mem.LineAddr) *fillEntry {
+	for _, e := range q.entries {
+		if e.line == line {
+			return e
+		}
+	}
+	return nil
+}
+
+// popReady removes and returns entries whose data has arrived by now, in
+// FIFO order, stopping at the first entry whose future has not resolved
+// only if strictFIFO; fill queues are FIFOs for ordering, but fills become
+// ready out of order (L3 hits overtake DRAM misses), so we sweep all ready
+// entries.
+func (q *fillQueue) popReady(now uint64) []*fillEntry {
+	var ready []*fillEntry
+	kept := q.entries[:0]
+	for _, e := range q.entries {
+		if e.fut.DoneBy(now) && !e.needsDRAM {
+			ready = append(ready, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	q.entries = kept
+	return ready
+}

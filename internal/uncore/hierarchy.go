@@ -1,0 +1,561 @@
+package uncore
+
+import (
+	"bopsim/internal/cache"
+	"bopsim/internal/dram"
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+	"bopsim/internal/stride"
+	"bopsim/internal/tlb"
+)
+
+// coreReq is a core-side request (demand load/store miss or DL1 stride
+// prefetch) waiting to access a private L2.
+type coreReq struct {
+	line    mem.LineAddr
+	readyAt uint64
+	fut     *dram.Future // completion future (also set for L1 prefetches)
+	isWrite bool
+	l1pf    bool // DL1 stride prefetch rather than a demand request
+	pc      uint64
+}
+
+// outstandingInfo tracks one in-flight DL1 miss for MSHR-style merging.
+type outstandingInfo struct {
+	fut       *dram.Future
+	markWrite bool
+}
+
+// dl1Fill is a block scheduled for insertion into a DL1.
+type dl1Fill struct {
+	line  mem.LineAddr
+	at    uint64
+	dirty bool
+	pf    bool // set the DL1 prefetch bit (DL1 stride prefetch fills)
+}
+
+// Stats aggregates hierarchy-wide event counts.
+type Stats struct {
+	DL1Hits, DL1Misses   uint64
+	L2DemandAccesses     uint64
+	L2Hits, L2Misses     uint64
+	L2PrefetchedHits     uint64
+	L3Hits, L3Misses     uint64
+	PrefIssued           uint64 // L2 prefetches entering the prefetch queue
+	PrefDroppedDup       uint64 // suppressed by associative searches
+	PrefDroppedTagCheck  uint64 // dropped by the mandatory fill-time tag check
+	PrefLatePromotions   uint64 // fill-queue entries promoted to demand
+	PrefCancelled        uint64 // evicted from the full prefetch queue
+	StridePrefIssued     uint64
+	StridePrefDroppedTLB uint64
+	TLBWalks             uint64
+
+	// Occupancy telemetry (sampled each Tick, core 0 only) for diagnosing
+	// where requests queue up.
+	TickSamples       uint64
+	L2FQOccupancySum  uint64
+	L3FQOccupancySum  uint64
+	MSHROccupancySum  uint64
+	PrefQOccupancySum uint64
+}
+
+// Hierarchy is the full uncore shared by all cores of one simulation.
+type Hierarchy struct {
+	cfg Config
+
+	dl1     []*cache.Cache
+	l2      []*cache.Cache
+	l3      *cache.Cache
+	fivep   *cache.FiveP // non-nil when L3Policy is 5P
+	tlbs    []*tlb.Hierarchy
+	strides []*stride.Prefetcher
+	l2pf    []prefetch.L2Prefetcher
+	// preIssueTagCheck enables the extra L2 tag lookup before issuing a
+	// prefetch, which the paper adds for SBP's degree-N requests
+	// (section 6.3).
+	preIssueTagCheck []bool
+
+	mem *dram.Memory
+
+	demandQ     [][]*coreReq
+	l2fq        []*fillQueue
+	l3fq        *fillQueue
+	pq          []*prefetchQueue
+	outstanding []map[mem.LineAddr]*outstandingInfo
+	dl1Fills    [][]dl1Fill
+	pendingWB   []wbReq
+
+	translators []*mem.Translator
+
+	stats Stats
+}
+
+type wbReq struct {
+	line mem.LineAddr
+	core int
+}
+
+// New builds a hierarchy. newL2PF is called once per core to construct that
+// core's private L2 prefetcher (pass nil for no L2 prefetching). memory may
+// be nil, in which case the default DRAM for cfg.NumCores is built.
+func New(cfg Config, newL2PF func(core int) prefetch.L2Prefetcher, memory *dram.Memory) *Hierarchy {
+	if memory == nil {
+		memory = dram.New(dram.DefaultParams(cfg.NumCores))
+	}
+	h := &Hierarchy{
+		cfg:  cfg,
+		l3:   cache.New("L3", cfg.L3Size, cfg.L3Ways, cfg.newL3Policy()),
+		mem:  memory,
+		l3fq: newFillQueue(cfg.L3FillQueueLen),
+	}
+	if fp, ok := h.l3.Policy().(*cache.FiveP); ok {
+		h.fivep = fp
+	}
+	for c := 0; c < cfg.NumCores; c++ {
+		dl1Sets := cfg.DL1Size / mem.LineSize / cfg.DL1Ways
+		l2Sets := cfg.L2Size / mem.LineSize / cfg.L2Ways
+		h.dl1 = append(h.dl1, cache.New("DL1", cfg.DL1Size, cfg.DL1Ways, cache.NewLRU(dl1Sets, cfg.DL1Ways)))
+		h.l2 = append(h.l2, cache.New("L2", cfg.L2Size, cfg.L2Ways, cache.NewLRU(l2Sets, cfg.L2Ways)))
+		h.tlbs = append(h.tlbs, tlb.New(cfg.Page))
+		h.strides = append(h.strides, stride.New())
+		var pf prefetch.L2Prefetcher = prefetch.None{}
+		if newL2PF != nil {
+			if p := newL2PF(c); p != nil {
+				pf = p
+			}
+		}
+		h.l2pf = append(h.l2pf, pf)
+		h.preIssueTagCheck = append(h.preIssueTagCheck, pf.Name() == "SBP")
+		h.demandQ = append(h.demandQ, nil)
+		h.l2fq = append(h.l2fq, newFillQueue(cfg.L2FillQueueLen))
+		h.pq = append(h.pq, newPrefetchQueue(cfg.PrefetchQueueLen))
+		h.outstanding = append(h.outstanding, make(map[mem.LineAddr]*outstandingInfo))
+		h.dl1Fills = append(h.dl1Fills, nil)
+		h.translators = append(h.translators, mem.NewTranslator(cfg.Page, cfg.Seed+uint64(c)*0x1234567))
+	}
+	return h
+}
+
+// Stats returns a snapshot of the hierarchy statistics.
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	for c := range h.pq {
+		s.PrefCancelled += h.pq[c].Cancelled
+	}
+	for _, t := range h.tlbs {
+		s.TLBWalks += t.Walks
+	}
+	return s
+}
+
+// Memory returns the DRAM model (for traffic statistics).
+func (h *Hierarchy) Memory() *dram.Memory { return h.mem }
+
+// L2Prefetcher returns core's L2 prefetcher, for inspection.
+func (h *Hierarchy) L2Prefetcher(core int) prefetch.L2Prefetcher { return h.l2pf[core] }
+
+// CanAccept reports whether core can start a new DL1 miss (MSHR space).
+func (h *Hierarchy) CanAccept(core int) bool {
+	return len(h.outstanding[core]) < h.cfg.MSHRs
+}
+
+// Access performs a demand load or store for core at cycle now. It returns
+// the completion future, or nil when the request cannot be accepted yet
+// (MSHRs full) and the core must retry.
+func (h *Hierarchy) Access(core int, pc uint64, va mem.Addr, isWrite bool, now uint64) *dram.Future {
+	tlbLat := h.tlbs[core].Access(va)
+	line := h.translators[core].TranslateLine(mem.LineOf(va))
+	t0 := now + tlbLat
+
+	if ln := h.dl1[core].Lookup(line); ln != nil {
+		h.stats.DL1Hits++
+		pfHit := ln.Prefetch
+		ln.Prefetch = false
+		if isWrite {
+			ln.Dirty = true
+		}
+		if pfHit {
+			h.strideQuery(core, pc, va, t0)
+		}
+		return dram.ResolvedAt(t0 + h.cfg.DL1Latency)
+	}
+	h.stats.DL1Misses++
+	h.strideQuery(core, pc, va, t0)
+
+	if info, ok := h.outstanding[core][line]; ok {
+		// MSHR merge: a request for this line is already in flight.
+		info.markWrite = info.markWrite || isWrite
+		return info.fut
+	}
+	if !h.CanAccept(core) {
+		return nil
+	}
+	fut := dram.Pending()
+	h.outstanding[core][line] = &outstandingInfo{fut: fut, markWrite: isWrite}
+	h.demandQ[core] = append(h.demandQ[core], &coreReq{
+		line: line, readyAt: t0 + h.cfg.DL1Latency, fut: fut, isWrite: isWrite, pc: pc,
+	})
+	return fut
+}
+
+// RetireMemOp updates the DL1 stride prefetcher table at retirement of a
+// load/store (section 5.5: the table is updated at retirement to see
+// accesses in program order).
+func (h *Hierarchy) RetireMemOp(core int, pc uint64, va mem.Addr) {
+	if h.cfg.StridePrefetcher {
+		h.strides[core].Update(pc, va)
+	}
+}
+
+// strideQuery asks the DL1 stride prefetcher for a prefetch on a DL1 miss
+// or prefetched hit, applying the TLB2 gate of section 5.5.
+func (h *Hierarchy) strideQuery(core int, pc uint64, va mem.Addr, t0 uint64) {
+	if !h.cfg.StridePrefetcher {
+		return
+	}
+	target, ok := h.strides[core].Query(pc, va)
+	if !ok {
+		return
+	}
+	if !h.tlbs[core].ProbeTLB2(target) {
+		h.stats.StridePrefDroppedTLB++
+		return
+	}
+	line := h.translators[core].TranslateLine(mem.LineOf(target))
+	if h.dl1[core].Peek(line) != nil {
+		return
+	}
+	if _, inFlight := h.outstanding[core][line]; inFlight {
+		return
+	}
+	if !h.CanAccept(core) {
+		return
+	}
+	fut := dram.Pending()
+	h.outstanding[core][line] = &outstandingInfo{fut: fut}
+	h.demandQ[core] = append(h.demandQ[core], &coreReq{
+		line: line, readyAt: t0 + h.cfg.DL1Latency, fut: fut, l1pf: true, pc: pc,
+	})
+	h.stats.StridePrefIssued++
+}
+
+// Tick advances the uncore by one cycle: drain ready fills top-down, then
+// process core requests at the L2s, then let queued L2 prefetches access
+// the L3 (lowest priority), then retry blocked writebacks, then tick DRAM.
+func (h *Hierarchy) Tick(now uint64) {
+	h.stats.TickSamples++
+	h.stats.L2FQOccupancySum += uint64(h.l2fq[0].len())
+	h.stats.L3FQOccupancySum += uint64(h.l3fq.len())
+	h.stats.MSHROccupancySum += uint64(len(h.outstanding[0]))
+	h.stats.PrefQOccupancySum += uint64(len(h.pq[0].lines))
+	h.drainL3Fills(now)
+	for c := range h.l2fq {
+		h.drainL2Fills(c, now)
+		h.drainDL1Fills(c, now)
+	}
+	for c := range h.demandQ {
+		h.processDemand(c, now)
+	}
+	for c := range h.pq {
+		h.issueQueuedPrefetch(c, now)
+	}
+	h.retryWritebacks(now)
+	h.mem.Tick(now)
+}
+
+// drainL3Fills inserts memory data into the L3.
+func (h *Hierarchy) drainL3Fills(now uint64) {
+	if h.l3fq.len() == 0 {
+		return
+	}
+	for _, e := range h.l3fq.popReady(now) {
+		if h.l3.Peek(e.line) != nil {
+			continue // already present (raced with another fill path)
+		}
+		isPf := e.isPrefetch && !e.promoted
+		ev := h.l3.Insert(e.line, cache.InsertInfo{Core: e.core, IsPrefetch: isPf})
+		if h.fivep != nil {
+			h.fivep.NoteFill(e.core)
+		}
+		if ev.Valid && ev.Dirty {
+			h.writebackToDRAM(ev.Addr, ev.Core)
+		}
+	}
+}
+
+// drainL2Fills inserts arrived blocks into core's L2, applying the
+// mandatory tag check and forwarding demand data to the DL1 (section 5.4).
+func (h *Hierarchy) drainL2Fills(core int, now uint64) {
+	if h.l2fq[core].len() == 0 {
+		return
+	}
+	for _, e := range h.l2fq[core].popReady(now) {
+		// The prefetch *bit* is only set when the block was not promoted to
+		// a demand miss in the meantime, but the prefetcher's fill hook
+		// sees every block its requests brought in — the BO prefetcher's
+		// RR insertion happens at prefetch completion whether the prefetch
+		// turned out late or not; lateness is what the learning measures.
+		stillPrefetch := e.isPrefetch && !e.promoted
+		if h.l2[core].Peek(e.line) != nil {
+			// The block arrived but is already cached: mandatory tag check
+			// drops the fill (blocks must not be duplicated).
+			if stillPrefetch {
+				h.stats.PrefDroppedTagCheck++
+			}
+		} else {
+			ev := h.l2[core].Insert(e.line, cache.InsertInfo{Core: core, IsPrefetch: stillPrefetch})
+			h.l2pf[core].OnFill(e.line, e.isPrefetch)
+			if ev.Valid && ev.Dirty {
+				h.writebackToL3(ev.Addr, core)
+			}
+		}
+		if e.fillL1 {
+			dirty := e.isWrite
+			if info, ok := h.outstanding[core][e.line]; ok {
+				dirty = dirty || info.markWrite
+			}
+			h.insertDL1(core, e.line, dirty, e.l1pf)
+		}
+		for _, w := range e.waiters {
+			w.Resolve(now)
+		}
+		delete(h.outstanding[core], e.line)
+	}
+}
+
+// drainDL1Fills inserts due blocks into core's DL1 (L2-hit data paths).
+func (h *Hierarchy) drainDL1Fills(core int, now uint64) {
+	fills := h.dl1Fills[core]
+	if len(fills) == 0 {
+		return
+	}
+	kept := fills[:0]
+	for _, f := range fills {
+		if f.at > now {
+			kept = append(kept, f)
+			continue
+		}
+		h.insertDL1(core, f.line, f.dirty, f.pf)
+	}
+	h.dl1Fills[core] = kept
+}
+
+// insertDL1 places line into core's DL1, handling dirty writeback of the
+// victim into the L2 (write-back hierarchy).
+func (h *Hierarchy) insertDL1(core int, line mem.LineAddr, dirty, pfBit bool) {
+	delete(h.outstanding[core], line)
+	if ln := h.dl1[core].Peek(line); ln != nil {
+		ln.Dirty = ln.Dirty || dirty
+		return
+	}
+	ev := h.dl1[core].Insert(line, cache.InsertInfo{Core: core, IsPrefetch: pfBit})
+	if ln := h.dl1[core].Peek(line); ln != nil && dirty {
+		ln.Dirty = true
+	}
+	if ev.Valid && ev.Dirty {
+		if l2ln := h.l2[core].Peek(ev.Addr); l2ln != nil {
+			l2ln.Dirty = true
+		} else {
+			l2ev := h.l2[core].Insert(ev.Addr, cache.InsertInfo{Core: core})
+			if l2ln := h.l2[core].Peek(ev.Addr); l2ln != nil {
+				l2ln.Dirty = true
+			}
+			if l2ev.Valid && l2ev.Dirty {
+				h.writebackToL3(l2ev.Addr, core)
+			}
+		}
+	}
+}
+
+// writebackToL3 sends a dirty L2 victim down to the L3 (non-inclusive:
+// allocate if absent).
+func (h *Hierarchy) writebackToL3(line mem.LineAddr, core int) {
+	if ln := h.l3.Peek(line); ln != nil {
+		ln.Dirty = true
+		return
+	}
+	ev := h.l3.Insert(line, cache.InsertInfo{Core: core})
+	if ln := h.l3.Peek(line); ln != nil {
+		ln.Dirty = true
+	}
+	if h.fivep != nil {
+		h.fivep.NoteFill(core)
+	}
+	if ev.Valid && ev.Dirty {
+		h.writebackToDRAM(ev.Addr, ev.Core)
+	}
+}
+
+// writebackToDRAM queues a dirty L3 victim for memory, buffering when the
+// write queue is full.
+func (h *Hierarchy) writebackToDRAM(line mem.LineAddr, core int) {
+	if !h.mem.EnqueueWrite(line, core) {
+		h.pendingWB = append(h.pendingWB, wbReq{line: line, core: core})
+	}
+}
+
+func (h *Hierarchy) retryWritebacks(uint64) {
+	if len(h.pendingWB) == 0 {
+		return
+	}
+	kept := h.pendingWB[:0]
+	for _, wb := range h.pendingWB {
+		if !h.mem.EnqueueWrite(wb.line, wb.core) {
+			kept = append(kept, wb)
+		}
+	}
+	h.pendingWB = kept
+}
+
+// processDemand lets up to two due core requests access core's L2 this
+// cycle (the L2 is dual-ported for the core side in our model).
+func (h *Hierarchy) processDemand(core int, now uint64) {
+	for ports := 0; ports < 2; ports++ {
+		q := h.demandQ[core]
+		if len(q) == 0 || q[0].readyAt > now {
+			return
+		}
+		if !h.processL2Request(core, q[0], now) {
+			return // blocked on a full queue downstream; retry next cycle
+		}
+		h.demandQ[core] = q[1:]
+	}
+}
+
+// processL2Request performs the L2 access for a core request. It returns
+// false when the request must be retried (fill queue or read queue full).
+func (h *Hierarchy) processL2Request(core int, req *coreReq, now uint64) bool {
+	l2 := h.l2[core]
+	h.stats.L2DemandAccesses++
+	if ln := l2.Lookup(req.line); ln != nil {
+		h.stats.L2Hits++
+		pfHit := ln.Prefetch
+		if pfHit {
+			h.stats.L2PrefetchedHits++
+		}
+		ln.Prefetch = false // requested by the L1: reset the prefetch bit
+		done := now + h.cfg.L2Latency
+		req.fut.Resolve(done)
+		h.dl1Fills[core] = append(h.dl1Fills[core], dl1Fill{
+			line: req.line, at: done, dirty: req.isWrite, pf: req.l1pf,
+		})
+		h.triggerL2Prefetcher(core, prefetch.AccessInfo{Line: req.line, Hit: true, PrefetchedHit: pfHit})
+		return true
+	}
+	h.stats.L2Misses++
+
+	// CAM search of the fill queue: merge onto an in-flight fill.
+	if e := h.l2fq[core].find(req.line); e != nil {
+		if e.isPrefetch && !e.promoted {
+			if !h.cfg.LatePromotion {
+				// Ablation: no promotion path; the request replays until
+				// the prefetch fills the L2.
+				return false
+			}
+			e.promoted = true
+			h.stats.PrefLatePromotions++
+		}
+		if !req.l1pf {
+			e.fillL1 = true
+			e.isWrite = e.isWrite || req.isWrite
+			e.l1pf = false // a demand now depends on this block
+		}
+		e.waiters = append(e.waiters, req.fut)
+		h.triggerL2Prefetcher(core, prefetch.AccessInfo{Line: req.line, Hit: false})
+		return true
+	}
+
+	if h.l2fq[core].full() {
+		return false
+	}
+	e := &fillEntry{
+		line: req.line, core: core, fillL1: true, isWrite: req.isWrite,
+		l1pf: req.l1pf, waiters: []*dram.Future{req.fut},
+	}
+	if !h.accessL3(e, now, false) {
+		return false
+	}
+	h.l2fq[core].push(e)
+	h.triggerL2Prefetcher(core, prefetch.AccessInfo{Line: req.line, Hit: false})
+	return true
+}
+
+// accessL3 resolves where entry e's data comes from: L3 hit, an in-flight
+// L3 fill, or a new DRAM read. It returns false if a required queue is full
+// (nothing is modified in that case).
+func (h *Hierarchy) accessL3(e *fillEntry, now uint64, isPrefetch bool) bool {
+	if h.l3.Peek(e.line) != nil {
+		h.l3.Lookup(e.line) // real access: stats + replacement update
+		h.stats.L3Hits++
+		e.fut = dram.ResolvedAt(now + h.cfg.L3Latency)
+		return true
+	}
+	if l3e := h.l3fq.find(e.line); l3e != nil {
+		if !isPrefetch && l3e.isPrefetch {
+			l3e.promoted = true
+		}
+		e.fut = l3e.fut
+		return true
+	}
+	if h.l3fq.full() {
+		return false
+	}
+	fut := h.mem.EnqueueRead(e.line, e.core, dram.Pending())
+	if fut == nil {
+		return false
+	}
+	h.l3.Lookup(e.line) // counts the miss
+	h.stats.L3Misses++
+	l3e := &fillEntry{line: e.line, core: e.core, isPrefetch: isPrefetch, fut: fut}
+	h.l3fq.push(l3e)
+	e.fut = fut
+	return true
+}
+
+// triggerL2Prefetcher runs core's L2 prefetcher on an access and queues the
+// requested prefetches.
+func (h *Hierarchy) triggerL2Prefetcher(core int, a prefetch.AccessInfo) {
+	for _, target := range h.l2pf[core].OnAccess(a) {
+		if h.pq[core].contains(target) || h.l2fq[core].find(target) != nil {
+			h.stats.PrefDroppedDup++
+			continue
+		}
+		if h.preIssueTagCheck[core] && h.l2[core].Peek(target) != nil {
+			h.stats.PrefDroppedDup++
+			continue
+		}
+		h.pq[core].push(target)
+		h.stats.PrefIssued++
+	}
+}
+
+// issueQueuedPrefetch moves at most one prefetch per cycle from core's
+// prefetch queue into the fill path (prefetches have the lowest priority
+// for accessing the L3, section 5.4).
+func (h *Hierarchy) issueQueuedPrefetch(core int, now uint64) {
+	if h.pq[core].empty() || h.l2fq[core].full() {
+		return
+	}
+	line, _ := h.pq[core].pop()
+	e := &fillEntry{line: line, core: core, isPrefetch: true}
+	if !h.accessL3(e, now, true) {
+		// Downstream full: put it back (front of the queue).
+		h.pq[core].lines = append([]mem.LineAddr{line}, h.pq[core].lines...)
+		return
+	}
+	h.l2fq[core].push(e)
+}
+
+// Drained reports whether every queue in the hierarchy is empty (used by
+// tests to run the system dry).
+func (h *Hierarchy) Drained() bool {
+	if h.l3fq.len() > 0 || len(h.pendingWB) > 0 || !h.mem.Idle() {
+		return false
+	}
+	for c := range h.l2fq {
+		if h.l2fq[c].len() > 0 || len(h.demandQ[c]) > 0 || !h.pq[c].empty() || len(h.dl1Fills[c]) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package uncore
+
+import "bopsim/internal/mem"
+
+// prefetchQueue is the 8-entry queue where L2 prefetch requests wait for
+// access to the L3 (section 5.4). Prefetches have the lowest priority;
+// when the queue is full the *oldest* request is cancelled — stale
+// prefetches are the least likely to still be timely.
+type prefetchQueue struct {
+	lines     []mem.LineAddr
+	cap       int
+	Cancelled uint64
+}
+
+func newPrefetchQueue(capacity int) *prefetchQueue {
+	return &prefetchQueue{cap: capacity}
+}
+
+// push inserts a prefetch target, cancelling the oldest if full.
+func (q *prefetchQueue) push(line mem.LineAddr) {
+	if len(q.lines) >= q.cap {
+		q.lines = q.lines[1:]
+		q.Cancelled++
+	}
+	q.lines = append(q.lines, line)
+}
+
+// contains reports whether line is already queued (associative search used
+// to drop redundant prefetch requests, footnote 13).
+func (q *prefetchQueue) contains(line mem.LineAddr) bool {
+	for _, l := range q.lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// pop removes and returns the oldest request.
+func (q *prefetchQueue) pop() (mem.LineAddr, bool) {
+	if len(q.lines) == 0 {
+		return 0, false
+	}
+	l := q.lines[0]
+	q.lines = q.lines[1:]
+	return l, true
+}
+
+func (q *prefetchQueue) empty() bool { return len(q.lines) == 0 }
