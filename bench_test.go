@@ -7,10 +7,13 @@
 package bopsim_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"bopsim/internal/core"
 	"bopsim/internal/dram"
+	"bopsim/internal/experiments"
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
 	"bopsim/internal/sbp"
@@ -295,6 +298,43 @@ func BenchmarkExtensionAdaptiveThrottle(b *testing.B) {
 		ratio = sim.MustRun(ext).IPC / sim.MustRun(stock).IPC
 	}
 	b.ReportMetric(ratio, "adaptive/stock")
+}
+
+// --- Scheduler throughput ---------------------------------------------------
+
+// BenchmarkRunnerParallel measures sweep wall-clock through the experiment
+// scheduler over a fixed job set, serial versus parallel, reporting sims/s.
+// On multi-core hosts the j>1 variants should show near-linear speedup; the
+// tables produced are byte-identical either way (see TestParallelMatchesSerial).
+func BenchmarkRunnerParallel(b *testing.B) {
+	var jobs []sim.Options
+	for _, wl := range []string{"433.milc", "462.libquantum", "429.mcf", "456.hmmer"} {
+		for _, page := range []mem.PageSize{mem.Page4K, mem.Page4M} {
+			for _, pf := range []sim.PrefetcherKind{sim.PFNextLine, sim.PFBO} {
+				o := baseOpts(wl, 1, page)
+				o.Instructions = 60_000
+				o.L2PF = pf
+				jobs = append(jobs, o)
+			}
+		}
+	}
+	workers := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, j := range workers {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh Runner each iteration so nothing is cached.
+				r := experiments.NewRunner(60_000, experiments.QuickConfigs())
+				r.Workers = j
+				if err := r.RunJobs(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "sims/s")
+		})
+	}
 }
 
 // --- Micro-benchmarks -------------------------------------------------------

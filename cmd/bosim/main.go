@@ -1,17 +1,25 @@
 // Command bosim runs one simulation: a workload on a baseline
 // configuration with a chosen L2 prefetcher, printing IPC and the relevant
-// event counts.
+// event counts. It drives the steppable engine directly, so Ctrl-C cancels
+// a long run cleanly (reporting the partial measurements) and -progress
+// shows the run advancing.
 //
 // Usage:
 //
 //	bosim -workload 462.libquantum -pf bo -page 4MB -cores 1 -n 1000000
+//	bosim -workload 429.mcf -pf bo -progress -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"bopsim/internal/engine"
 	"bopsim/internal/mem"
 	"bopsim/internal/sim"
 	"bopsim/internal/trace"
@@ -30,6 +38,8 @@ func main() {
 		noStride  = flag.Bool("nostride", false, "disable the DL1 stride prefetcher")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		list      = flag.Bool("list", false, "list available workloads and exit")
+		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of text")
+		progress  = flag.Bool("progress", false, "report live progress on stderr while running")
 	)
 	flag.Parse()
 
@@ -61,10 +71,41 @@ func main() {
 	o.Seed = *seed
 	o.TracePath = *tracePath
 
-	r, err := sim.Run(o)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s, err := engine.New(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
 		os.Exit(1)
+	}
+	r, err := run(ctx, s, *progress)
+	interrupted := err == context.Canceled
+	switch {
+	case interrupted:
+		// Interrupted: report the partial run, marked as such, and exit
+		// nonzero below so callers never mistake it for a complete one.
+		fmt.Fprintf(os.Stderr, "bosim: interrupted after %d cycles (%d/%d instructions); partial results follow\n",
+			s.Cycles(), s.Retired(), *n)
+		r = s.Snapshot()
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		b, err := json.MarshalIndent(struct {
+			Options     engine.Options `json:"options"`
+			Interrupted bool           `json:"interrupted,omitempty"`
+			Result      sim.Result     `json:"result"`
+		}{s.Options(), interrupted, r}, "", " ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		exitInterrupted(interrupted)
+		return
 	}
 
 	fmt.Printf("workload        %s\n", r.Workload)
@@ -74,15 +115,52 @@ func main() {
 	fmt.Printf("IPC             %.4f\n", r.IPC)
 	fmt.Printf("DRAM acc/KI     %.2f (reads %d, writes %d)\n", r.DRAMAccessesPerKI, r.DRAM.Reads, r.DRAM.Writes)
 	fmt.Printf("DRAM row hits   %d (closed %d, conflicts %d)\n", r.DRAM.RowHits, r.DRAM.RowClosed, r.DRAM.RowConflicts)
-	s := r.Hier
-	fmt.Printf("DL1 hits/misses %d/%d\n", s.DL1Hits, s.DL1Misses)
-	fmt.Printf("L2 pf hits      %d (late promotions %d)\n", s.L2PrefetchedHits, s.PrefLatePromotions)
+	st := r.Hier
+	fmt.Printf("DL1 hits/misses %d/%d\n", st.DL1Hits, st.DL1Misses)
+	fmt.Printf("L2 pf hits      %d (late promotions %d)\n", st.L2PrefetchedHits, st.PrefLatePromotions)
 	fmt.Printf("L2 pf issued    %d (dup-dropped %d, tag-dropped %d, cancelled %d)\n",
-		s.PrefIssued, s.PrefDroppedDup, s.PrefDroppedTagCheck, s.PrefCancelled)
-	fmt.Printf("DL1 stride pf   %d issued, %d TLB-dropped\n", s.StridePrefIssued, s.StridePrefDroppedTLB)
-	fmt.Printf("TLB walks       %d\n", s.TLBWalks)
+		st.PrefIssued, st.PrefDroppedDup, st.PrefDroppedTagCheck, st.PrefCancelled)
+	fmt.Printf("DL1 stride pf   %d issued, %d TLB-dropped\n", st.StridePrefIssued, st.StridePrefDroppedTLB)
+	fmt.Printf("TLB walks       %d\n", st.TLBWalks)
 	if r.BO != nil {
 		fmt.Printf("BO              final offset %d, phases %d (off %d), RR insertions %d\n",
 			r.FinalBOOffset, r.BO.Phases, r.BO.PhasesOff, r.BO.RRInsertions)
+	}
+	exitInterrupted(interrupted)
+}
+
+// exitInterrupted exits with the conventional SIGINT status when the run
+// was cancelled, after the partial results have been printed.
+func exitInterrupted(interrupted bool) {
+	if interrupted {
+		os.Exit(130)
+	}
+}
+
+// run drives the simulation to completion. Without -progress it defers to
+// the engine's own loop; with it, it steps in visible chunks and rewrites a
+// status line between them.
+func run(ctx context.Context, s *engine.Simulation, progress bool) (sim.Result, error) {
+	if !progress {
+		return s.Run(ctx)
+	}
+	const chunk = 100_000 // cycles between status updates
+	target := s.Options().Instructions
+	for {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr)
+			return sim.Result{}, err
+		}
+		done, err := s.Step(chunk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr)
+			return sim.Result{}, err
+		}
+		fmt.Fprintf(os.Stderr, "\rcycle %-12d retired %d/%d (IPC %.3f)",
+			s.Cycles(), s.Retired(), target, s.Snapshot().IPC)
+		if done {
+			fmt.Fprintln(os.Stderr)
+			return s.Snapshot(), nil
+		}
 	}
 }

@@ -1,20 +1,27 @@
 // Command experiments regenerates the paper's tables and figures as text
 // tables. Each -figN flag runs the simulations that figure needs; -all runs
-// everything. Results within one invocation share a run cache, so running
-// -all is much cheaper than running the figures separately.
+// everything. The runs are scheduled on a worker pool (-j) and deduplicated
+// within one invocation; with -cache DIR completed simulations also persist
+// across invocations, so re-running a figure is nearly free. -json DIR
+// additionally writes each figure as machine-readable JSON.
 //
 // Usage:
 //
-//	experiments -all -quick            # representative configs, fast
-//	experiments -fig6 -n 500000        # full six configs for Figure 6
+//	experiments -all -quick                    # representative configs, fast
+//	experiments -all -j 8 -cache .simcache     # parallel + persistent cache
+//	experiments -fig6 -n 500000 -json out/     # full six configs for Figure 6
 //	experiments -fig8 -benchmarks 433.milc,470.lbm
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"bopsim/internal/experiments"
@@ -25,11 +32,14 @@ import (
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "run every table and figure")
-		quick   = flag.Bool("quick", false, "use the representative config subset instead of all six")
-		n       = flag.Uint64("n", 300_000, "instructions per simulation (core 0)")
-		benchCS = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 29)")
-		verbose = flag.Bool("v", false, "log every simulation run")
+		all      = flag.Bool("all", false, "run every table and figure")
+		quick    = flag.Bool("quick", false, "use the representative config subset instead of all six")
+		n        = flag.Uint64("n", 300_000, "instructions per simulation (core 0)")
+		benchCS  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 29)")
+		verbose  = flag.Bool("v", false, "log every simulation run")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run concurrently")
+		cacheDir = flag.String("cache", "", "persistent result-cache directory (empty: in-memory only)")
+		jsonDir  = flag.String("json", "", "also write each figure as JSON into this directory")
 
 		table1 = flag.Bool("table1", false, "print Table 1 (baseline microarchitecture)")
 		table2 = flag.Bool("table2", false, "print Table 2 (BO parameters)")
@@ -46,6 +56,8 @@ func main() {
 		configs = experiments.QuickConfigs()
 	}
 	r := experiments.NewRunner(*n, configs)
+	r.Workers = *jobs
+	r.CacheDir = *cacheDir
 	if *benchCS != "" {
 		r.Benchmarks = strings.Split(*benchCS, ",")
 	} else if *quick {
@@ -55,6 +67,28 @@ func main() {
 	}
 	if *verbose {
 		r.Log = os.Stderr
+	} else {
+		// Live progress: one rewritten line per scheduled job set. The
+		// callback runs on worker goroutines: a mutex keeps the counter
+		// monotonic on screen (worker completions can report out of
+		// order), and the final wipe is padded to the longest line
+		// printed so no residue is left for the summary to land on.
+		var mu sync.Mutex
+		shown := 0
+		r.Progress = func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done < shown {
+				return
+			}
+			shown = done
+			line := fmt.Sprintf("  %d/%d sims", done, total)
+			fmt.Fprint(os.Stderr, "\r"+line)
+			if done == total {
+				shown = 0 // next job set starts over
+				fmt.Fprint(os.Stderr, "\r"+strings.Repeat(" ", len(line))+"\r")
+			}
+		}
 	}
 
 	any := *table1 || *table2
@@ -65,9 +99,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	start := time.Now()
-	show := func(tables ...*stats.Table) {
+	show := func(name string, tables ...*stats.Table) {
 		for _, tb := range tables {
 			tb.Render(os.Stdout)
 			if *doPlot {
@@ -81,6 +121,12 @@ func main() {
 				fmt.Println()
 			}
 		}
+		if *jsonDir != "" {
+			if err := writeJSON(filepath.Join(*jsonDir, name+".json"), tables); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *all || *table1 {
 		fmt.Print(experiments.Table1())
@@ -91,22 +137,22 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *fig[2] {
-		show(r.Fig2())
+		show("fig2", r.Fig2())
 	}
 	if *all || *fig[3] {
-		show(r.Fig3()...)
+		show("fig3", r.Fig3()...)
 	}
 	if *all || *fig[4] {
-		show(r.Fig4())
+		show("fig4", r.Fig4())
 	}
 	if *all || *fig[5] {
-		show(r.Fig5())
+		show("fig5", r.Fig5())
 	}
 	if *all || *fig[6] {
-		show(r.Fig6())
+		show("fig6", r.Fig6())
 	}
 	if *all || *fig[7] {
-		show(r.Fig7())
+		show("fig7", r.Fig7())
 	}
 	if *all || *fig[8] {
 		offsets := experiments.Fig8Offsets()
@@ -116,24 +162,35 @@ func main() {
 				offsets = append(offsets, d)
 			}
 		}
-		show(r.Fig8(offsets))
+		show("fig8", r.Fig8(offsets))
 	}
 	if *all || *fig[9] {
-		show(r.Fig9())
+		show("fig9", r.Fig9())
 	}
 	if *all || *fig[10] {
-		show(r.Fig10())
+		show("fig10", r.Fig10())
 	}
 	if *all || *fig[11] {
-		show(r.Fig11())
+		show("fig11", r.Fig11())
 	}
 	if *all || *fig[12] {
-		show(r.Fig12())
+		show("fig12", r.Fig12())
 	}
 	if *all || *fig[13] {
-		show(r.Fig13())
+		show("fig13", r.Fig13())
 	}
-	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start))
+	fmt.Fprintf(os.Stderr, "total time: %v (%d simulations executed, -j %d)\n",
+		time.Since(start).Round(time.Millisecond), r.Executed(), *jobs)
+}
+
+// writeJSON stores one figure's tables (most figures have one; Figure 3 has
+// two) as a JSON array.
+func writeJSON(path string, tables []*stats.Table) error {
+	b, err := json.MarshalIndent(tables, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // quickBenchmarks is the subset used by -quick: every benchmark the paper's

@@ -1,0 +1,48 @@
+// Stepping drives the engine's incremental API directly: instead of running
+// a simulation to completion, it constructs an engine.Simulation, advances
+// it in fixed cycle quanta and snapshots between steps, printing the IPC
+// trajectory and the offset the BO prefetcher currently favours. This is
+// the view a monitoring dashboard (or the cancellable scheduler in
+// internal/experiments) has of a run, and it makes BO's learning phases
+// visible in time rather than only in the final aggregate.
+package main
+
+import (
+	"fmt"
+
+	"bopsim/internal/engine"
+	"bopsim/internal/mem"
+)
+
+func main() {
+	o := engine.DefaultOptions("433.milc")
+	o.Page = mem.Page4M
+	o.L2PF = engine.PFBO
+	o.Instructions = 400_000
+
+	s, err := engine.New(o)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%s, %d instructions, BO prefetcher — sampled every 50k cycles\n\n", o.Workload, o.Instructions)
+	fmt.Printf("%-10s %10s %10s %10s %8s\n", "cycle", "retired", "IPC", "phases", "offset")
+
+	const quantum = 50_000
+	for {
+		done, err := s.Step(quantum)
+		if err != nil {
+			panic(err)
+		}
+		snap := s.Snapshot()
+		fmt.Printf("%-10d %10d %10.3f %10d %8d\n",
+			snap.Cycles, snap.Instructions, snap.IPC, snap.BO.Phases, snap.FinalBOOffset)
+		if done {
+			break
+		}
+	}
+
+	final := s.Snapshot()
+	fmt.Printf("\nfinal: IPC %.3f over %d cycles; BO settled on offset %d after %d phases\n",
+		final.IPC, final.Cycles, final.FinalBOOffset, final.BO.Phases)
+}

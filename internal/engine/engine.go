@@ -1,0 +1,285 @@
+// Package engine is the simulation engine proper: it owns the run options,
+// the assembled machine (cores executing workload generators against the
+// shared uncore) and the cycle loop, exposed as a constructed, steppable
+// Simulation object rather than a single monolithic run function. Callers
+// that just want the final measurements use internal/sim's thin wrappers;
+// callers that need incremental control — schedulers running thousands of
+// simulations on a worker pool, tools sampling mid-run state, anything that
+// must honour cancellation — construct a Simulation and drive it.
+//
+// The layering (see DESIGN.md) is:
+//
+//	engine.Simulation   one run: New -> Step/Run(ctx) -> Snapshot
+//	sim.Run             compatibility wrapper, context.Background()
+//	experiments.Runner  scheduler: dedup, worker pool, disk cache
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"bopsim/internal/core"
+	"bopsim/internal/cpu"
+	"bopsim/internal/dram"
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+	"bopsim/internal/sbp"
+	"bopsim/internal/trace"
+	"bopsim/internal/uncore"
+)
+
+// PrefetcherKind selects the L2 prefetcher.
+type PrefetcherKind string
+
+// Available L2 prefetcher configurations.
+const (
+	PFNone     PrefetcherKind = "none"
+	PFNextLine PrefetcherKind = "nextline"
+	PFOffset   PrefetcherKind = "offset" // fixed offset (Options.FixedOffset)
+	PFBO       PrefetcherKind = "bo"
+	PFSBP      PrefetcherKind = "sbp"
+)
+
+// Options describes one simulation run. The zero values of most fields mean
+// "use the baseline default"; Normalized resolves them, and anything keying
+// a result cache must hash the normalized form so equivalent spellings of
+// the same run share an entry.
+type Options struct {
+	Workload string
+	// TracePath, when non-empty, replays a recorded trace file on core 0
+	// instead of the named synthetic workload (see internal/trace's file
+	// format and cmd/tracegen).
+	TracePath    string
+	Cores        int // active cores: 1, 2 or 4
+	Page         mem.PageSize
+	L2PF         PrefetcherKind
+	FixedOffset  int    // used when L2PF == PFOffset
+	L3Policy     string // "5P" (default), "LRU", "DRRIP"
+	StridePF     bool
+	LatePromote  bool
+	Instructions uint64 // retired instructions on core 0
+	Seed         uint64
+	// BOParams overrides the Best-Offset parameters (nil = Table 2).
+	BOParams *core.Params
+	// SBPParams overrides the Sandbox parameters (nil = section 6.3).
+	SBPParams *sbp.Params
+	CPU       cpu.Config
+	// MaxCycles aborts a wedged simulation; 0 means a generous default.
+	MaxCycles uint64
+}
+
+// DefaultOptions returns a 1-core, 4KB-page, next-line-prefetcher run of
+// the named workload.
+func DefaultOptions(workload string) Options {
+	return Options{
+		Workload:     workload,
+		Cores:        1,
+		Page:         mem.Page4K,
+		L2PF:         PFNextLine,
+		L3Policy:     "5P",
+		StridePF:     true,
+		LatePromote:  true,
+		Instructions: 500_000,
+		Seed:         1,
+		CPU:          cpu.DefaultConfig(),
+	}
+}
+
+// Normalized returns o with every defaulted zero value resolved to the
+// concrete baseline setting, so two spellings of the same run compare (and
+// hash) equal.
+func (o Options) Normalized() Options {
+	if o.Instructions == 0 {
+		o.Instructions = 500_000
+	}
+	if o.CPU.ROBSize == 0 {
+		o.CPU = cpu.DefaultConfig()
+	}
+	if o.L2PF == "" {
+		o.L2PF = PFNextLine
+	}
+	if o.L3Policy == "" {
+		o.L3Policy = "5P"
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = o.Instructions * 400 // IPC floor of 1/400 before declaring a wedge
+	}
+	return o
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	Workload     string
+	IPC          float64
+	Cycles       uint64
+	Instructions uint64
+	Hier         uncore.Stats
+	DRAM         dram.Stats
+	// DRAMAccessesPerKI is DRAM reads+writes per 1000 core-0 instructions
+	// (Figure 13's metric).
+	DRAMAccessesPerKI float64
+	// BO holds Best-Offset learning statistics when L2PF == PFBO.
+	BO *core.Stats
+	// FinalBOOffset is the offset BO ended the run with (0 otherwise).
+	FinalBOOffset int
+}
+
+// newPrefetcher builds the configured L2 prefetcher for one core.
+func (o Options) newPrefetcher() prefetch.L2Prefetcher {
+	switch o.L2PF {
+	case PFNone:
+		return prefetch.None{}
+	case PFNextLine, "":
+		return prefetch.NewNextLine(o.Page)
+	case PFOffset:
+		return prefetch.NewFixedOffset(o.Page, o.FixedOffset)
+	case PFBO:
+		p := core.DefaultParams()
+		if o.BOParams != nil {
+			p = *o.BOParams
+		}
+		return core.New(o.Page, p)
+	case PFSBP:
+		p := sbp.DefaultParams()
+		if o.SBPParams != nil {
+			p = *o.SBPParams
+		}
+		return sbp.New(o.Page, p)
+	}
+	panic(fmt.Sprintf("engine: unknown prefetcher %q", o.L2PF))
+}
+
+// Simulation is one constructed run: the assembled cores and uncore plus
+// the clock. It is not safe for concurrent use; run many Simulations in
+// parallel instead (they share no state).
+type Simulation struct {
+	opts  Options
+	hier  *uncore.Hierarchy
+	cores []*cpu.Core
+	now   uint64
+	err   error // sticky wedge error
+}
+
+// New validates the options and assembles the machine. The returned
+// Simulation has executed zero cycles.
+func New(o Options) (*Simulation, error) {
+	if o.Cores < 1 || o.Cores > 4 {
+		return nil, fmt.Errorf("engine: %d active cores unsupported (want 1, 2 or 4)", o.Cores)
+	}
+	o = o.Normalized()
+	switch o.L2PF {
+	case PFNone, PFNextLine, PFOffset, PFBO, PFSBP:
+	default:
+		return nil, fmt.Errorf("engine: unknown prefetcher %q (want none|nextline|offset|bo|sbp)", o.L2PF)
+	}
+
+	ucfg := uncore.DefaultConfig(o.Cores, o.Page)
+	ucfg.L3Policy = o.L3Policy
+	ucfg.StridePrefetcher = o.StridePF
+	ucfg.LatePromotion = o.LatePromote
+	ucfg.Seed = o.Seed
+
+	hier := uncore.New(ucfg, func(int) prefetch.L2Prefetcher { return o.newPrefetcher() }, nil)
+
+	var gen trace.Generator
+	var err error
+	if o.TracePath != "" {
+		gen, err = trace.OpenTraceFile(o.TracePath)
+	} else {
+		gen, err = trace.NewWorkload(o.Workload, o.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cores := []*cpu.Core{cpu.New(0, o.CPU, hier, gen)}
+	for i := 1; i < o.Cores; i++ {
+		cores = append(cores, cpu.New(i, o.CPU, hier, trace.NewThrasher(o.Seed+uint64(i)*7919)))
+	}
+	return &Simulation{opts: o, hier: hier, cores: cores}, nil
+}
+
+// Options returns the normalized options the simulation was built from.
+func (s *Simulation) Options() Options { return s.opts }
+
+// Done reports whether core 0 has retired the requested instruction count.
+func (s *Simulation) Done() bool { return s.cores[0].Retired >= s.opts.Instructions }
+
+// Cycles returns the number of cycles executed so far.
+func (s *Simulation) Cycles() uint64 { return s.now }
+
+// Retired returns the instructions retired on core 0 so far.
+func (s *Simulation) Retired() uint64 { return s.cores[0].Retired }
+
+// Step advances the simulation by up to n cycles, stopping early when the
+// run completes. It returns whether the run is done. A wedged simulation
+// (MaxCycles exceeded without completing) returns an error, and the error
+// is sticky: every later Step and Run reports it again.
+func (s *Simulation) Step(n uint64) (done bool, err error) {
+	if s.err != nil {
+		return false, s.err
+	}
+	for i := uint64(0); i < n; i++ {
+		if s.Done() {
+			return true, nil
+		}
+		for _, c := range s.cores {
+			c.Cycle(s.now)
+		}
+		s.hier.Tick(s.now)
+		s.now++
+		if s.now >= s.opts.MaxCycles && !s.Done() {
+			s.err = fmt.Errorf("engine: %s wedged after %d cycles (%d/%d instructions)",
+				s.opts.Workload, s.now, s.cores[0].Retired, s.opts.Instructions)
+			return false, s.err
+		}
+	}
+	return s.Done(), nil
+}
+
+// runQuantum is how many cycles Run executes between context checks: small
+// enough that cancellation is prompt (well under a millisecond of work),
+// large enough that the check cost is invisible.
+const runQuantum = 4096
+
+// Run drives the simulation to completion, checking ctx between quanta, and
+// returns the final measurements. On cancellation it returns ctx's error;
+// the Simulation remains valid and Snapshot still reports the partial run.
+func (s *Simulation) Run(ctx context.Context) (Result, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		done, err := s.Step(runQuantum)
+		if err != nil {
+			return Result{}, err
+		}
+		if done {
+			return s.Snapshot(), nil
+		}
+	}
+}
+
+// Snapshot computes the measurements at the current cycle. It is valid at
+// any point of the run, including before the first Step and after a
+// cancelled Run.
+func (s *Simulation) Snapshot() Result {
+	res := Result{
+		Workload:     s.opts.Workload,
+		Cycles:       s.now,
+		Instructions: s.cores[0].Retired,
+		Hier:         s.hier.Stats(),
+		DRAM:         s.hier.Memory().TotalStats(),
+	}
+	if s.now > 0 {
+		res.IPC = float64(s.cores[0].Retired) / float64(s.now)
+	}
+	if s.cores[0].Retired > 0 {
+		res.DRAMAccessesPerKI = float64(s.hier.Memory().Accesses()) / float64(s.cores[0].Retired) * 1000
+	}
+	if bo, ok := s.hier.L2Prefetcher(0).(*core.Prefetcher); ok {
+		st := bo.Stats()
+		res.BO = &st
+		res.FinalBOOffset = bo.Offset()
+	}
+	return res
+}

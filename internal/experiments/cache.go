@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bopsim/internal/sim"
+)
+
+// resultCacheVersion is bumped whenever the simulator's behaviour or the
+// Options/Result schema changes in a way that invalidates stored results.
+const resultCacheVersion = 1
+
+// OptionsHash returns the canonical cache key of one simulation run: a
+// SHA-256 over the JSON encoding of the *normalized* options plus the cache
+// schema version. Every option that can change the outcome participates
+// (including Seed, TracePath, SBPParams, MaxCycles and the CPU config),
+// and equivalent spellings of the same run — zero values versus explicit
+// defaults — hash identically because normalization resolves them first.
+//
+// TracePath is keyed by path, not content; retraced files need a fresh
+// cache directory.
+func OptionsHash(o sim.Options) string {
+	keyed := struct {
+		Version int
+		Options sim.Options
+	}{resultCacheVersion, o.Normalized()}
+	b, err := json.Marshal(keyed)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: options not hashable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// optionsKey is the Runner's cache key. It is the full-options hash, so
+// runs differing in any outcome-affecting field never alias.
+func optionsKey(o sim.Options) string { return OptionsHash(o) }
+
+// cacheEntry is the on-disk record format: one JSON file per completed
+// simulation, named <OptionsHash>.json, self-describing via the stored
+// options so a human (or a migration tool) can see what produced it.
+type cacheEntry struct {
+	Version int         `json:"version"`
+	Options sim.Options `json:"options"`
+	Result  sim.Result  `json:"result"`
+}
+
+// diskCache persists simulation results under one directory.
+type diskCache struct{ dir string }
+
+func (c diskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// load returns the stored result for key, if present and schema-compatible.
+func (c diskCache) load(key string) (sim.Result, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Version != resultCacheVersion {
+		return sim.Result{}, false
+	}
+	return e.Result, true
+}
+
+// store writes the result for key atomically (temp file + rename), so a
+// concurrent reader never observes a partial entry and an interrupted run
+// never corrupts the cache.
+func (c diskCache) store(key string, o sim.Options, res sim.Result) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(cacheEntry{resultCacheVersion, o.Normalized(), res}, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path(key))
+}

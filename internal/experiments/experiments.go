@@ -5,12 +5,20 @@
 // configurations) the paper plots. Speedups are computed exactly as in the
 // paper: IPC relative to the same configuration with the baseline L2
 // next-line prefetcher.
+//
+// The Runner is a scheduler, not a loop: every figure first enumerates the
+// simulations it needs, the deduplicated job set runs on a worker pool
+// (optionally backed by a persistent on-disk result cache), and the table
+// is then assembled serially from the warm cache — so output bytes never
+// depend on worker count or interleaving. See scheduler.go and DESIGN.md.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bopsim/internal/core"
 	"bopsim/internal/mem"
@@ -50,16 +58,31 @@ func QuickConfigs() []CoreConfig {
 	}
 }
 
-// Runner executes and caches simulation runs for the figures.
+// Runner schedules and caches simulation runs for the figures.
 type Runner struct {
 	Instructions uint64
 	Seed         uint64
 	Benchmarks   []string
 	Configs      []CoreConfig
-	// Log, when non-nil, receives one progress line per simulation run.
+	// Log, when non-nil, receives one line per simulation run or cache
+	// load (concurrent workers' lines are serialized, but their order
+	// follows completion order).
 	Log io.Writer
+	// Workers bounds the scheduler's worker pool; <= 0 means
+	// runtime.GOMAXPROCS(0). Table bytes are identical for any value.
+	Workers int
+	// CacheDir, when non-empty, persists every result as JSON under this
+	// directory (keyed by OptionsHash) and satisfies future runs from it.
+	CacheDir string
+	// Progress, when non-nil, is called after each scheduled job finishes
+	// with (completed, total) for the current job set. It is called from
+	// worker goroutines and must be safe for concurrent use.
+	Progress func(done, total int)
 
-	cache map[string]sim.Result
+	mu       sync.Mutex
+	cache    map[string]sim.Result
+	logMu    sync.Mutex
+	executed atomic.Int64
 }
 
 // NewRunner returns a Runner with the full benchmark list and the given
@@ -84,58 +107,27 @@ func (r *Runner) options(wl string, cc CoreConfig) sim.Options {
 	return o
 }
 
-func optionsKey(o sim.Options) string {
-	boKey := ""
-	if o.BOParams != nil {
-		boKey = fmt.Sprintf("rr%d,bad%d", o.BOParams.RREntries, o.BOParams.BadScore)
-	}
-	return fmt.Sprintf("%s|%d|%s|%s|%d|%s|%v|%v|%d|%s",
-		o.Workload, o.Cores, o.Page, o.L2PF, o.FixedOffset, o.L3Policy,
-		o.StridePF, o.LatePromote, o.Instructions, boKey)
-}
-
-// run executes (or fetches from cache) one simulation.
-func (r *Runner) run(o sim.Options) sim.Result {
-	key := optionsKey(o)
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	res, err := sim.Run(o)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, "  ran %-55s IPC=%.3f\n", key, res.IPC)
-	}
-	r.cache[key] = res
-	return res
-}
-
-// baseline returns the paper's baseline run: next-line L2 prefetcher, 5P
-// L3 replacement, DL1 stride prefetcher on.
-func (r *Runner) baseline(wl string, cc CoreConfig) sim.Result {
-	return r.run(r.options(wl, cc))
-}
-
 // speedupTable builds a per-benchmark table of IPC(variant)/IPC(baseline)
 // across all configured CoreConfigs, with a GM row.
 func (r *Runner) speedupTable(title string, variant func(o sim.Options) sim.Options) *stats.Table {
-	cols := make([]string, len(r.Configs))
-	for i, cc := range r.Configs {
-		cols[i] = cc.Label()
-	}
-	tb := stats.NewTable(title, cols...)
-	for _, wl := range r.Benchmarks {
-		row := make([]float64, len(r.Configs))
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(r.Configs))
 		for i, cc := range r.Configs {
-			base := r.baseline(wl, cc)
-			v := r.run(variant(r.options(wl, cc)))
-			row[i] = stats.Speedup(base.IPC, v.IPC)
+			cols[i] = cc.Label()
 		}
-		tb.AddRow(wl, row...)
-	}
-	tb.AddGeoMeanRow()
-	return tb
+		tb := stats.NewTable(title, cols...)
+		for _, wl := range r.Benchmarks {
+			row := make([]float64, len(r.Configs))
+			for i, cc := range r.Configs {
+				base := run(r.options(wl, cc))
+				v := run(variant(r.options(wl, cc)))
+				row[i] = stats.Speedup(base.IPC, v.IPC)
+			}
+			tb.AddRow(wl, row...)
+		}
+		tb.AddGeoMeanRow()
+		return tb
+	})
 }
 
 // Table1 renders the baseline microarchitecture parameters.
@@ -181,19 +173,21 @@ func Table2() string {
 
 // Fig2 reports baseline IPC for every benchmark and configuration.
 func (r *Runner) Fig2() *stats.Table {
-	cols := make([]string, len(r.Configs))
-	for i, cc := range r.Configs {
-		cols[i] = cc.Label()
-	}
-	tb := stats.NewTable("Figure 2: baseline IPC (core 0)", cols...)
-	for _, wl := range r.Benchmarks {
-		row := make([]float64, len(r.Configs))
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(r.Configs))
 		for i, cc := range r.Configs {
-			row[i] = r.baseline(wl, cc).IPC
+			cols[i] = cc.Label()
 		}
-		tb.AddRow(wl, row...)
-	}
-	return tb
+		tb := stats.NewTable("Figure 2: baseline IPC (core 0)", cols...)
+		for _, wl := range r.Benchmarks {
+			row := make([]float64, len(r.Configs))
+			for i, cc := range r.Configs {
+				row[i] = run(r.options(wl, cc)).IPC
+			}
+			tb.AddRow(wl, row...)
+		}
+		return tb
+	})
 }
 
 // Fig3 reports the impact of replacing the 5P L3 policy with LRU and with
@@ -230,34 +224,36 @@ func (r *Runner) Fig6() *stats.Table {
 // Fig7 compares BO against fixed offsets 2..7 (geometric means only, as in
 // the paper).
 func (r *Runner) Fig7() *stats.Table {
-	cols := make([]string, len(r.Configs))
-	for i, cc := range r.Configs {
-		cols[i] = cc.Label()
-	}
-	tb := stats.NewTable("Figure 7: BO vs fixed-offset prefetching (GM speedup)", cols...)
-	addRow := func(label string, variant func(o sim.Options) sim.Options) {
-		row := make([]float64, len(r.Configs))
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(r.Configs))
 		for i, cc := range r.Configs {
-			ratios := make([]float64, 0, len(r.Benchmarks))
-			for _, wl := range r.Benchmarks {
-				base := r.baseline(wl, cc)
-				v := r.run(variant(r.options(wl, cc)))
-				ratios = append(ratios, stats.Speedup(base.IPC, v.IPC))
-			}
-			row[i] = stats.GeoMean(ratios)
+			cols[i] = cc.Label()
 		}
-		tb.AddRow(label, row...)
-	}
-	addRow("BO", func(o sim.Options) sim.Options { o.L2PF = sim.PFBO; return o })
-	for d := 2; d <= 7; d++ {
-		d := d
-		addRow(fmt.Sprintf("D=%d", d), func(o sim.Options) sim.Options {
-			o.L2PF = sim.PFOffset
-			o.FixedOffset = d
-			return o
-		})
-	}
-	return tb
+		tb := stats.NewTable("Figure 7: BO vs fixed-offset prefetching (GM speedup)", cols...)
+		addRow := func(label string, variant func(o sim.Options) sim.Options) {
+			row := make([]float64, len(r.Configs))
+			for i, cc := range r.Configs {
+				ratios := make([]float64, 0, len(r.Benchmarks))
+				for _, wl := range r.Benchmarks {
+					base := run(r.options(wl, cc))
+					v := run(variant(r.options(wl, cc)))
+					ratios = append(ratios, stats.Speedup(base.IPC, v.IPC))
+				}
+				row[i] = stats.GeoMean(ratios)
+			}
+			tb.AddRow(label, row...)
+		}
+		addRow("BO", func(o sim.Options) sim.Options { o.L2PF = sim.PFBO; return o })
+		for d := 2; d <= 7; d++ {
+			d := d
+			addRow(fmt.Sprintf("D=%d", d), func(o sim.Options) sim.Options {
+				o.L2PF = sim.PFOffset
+				o.FixedOffset = d
+				return o
+			})
+		}
+		return tb
+	})
 }
 
 // Fig8Offsets is the default offset sample for the fixed-offset sweep.
@@ -283,29 +279,31 @@ func (r *Runner) Fig8(offsets []int) *stats.Table {
 	}
 	benchmarks := []string{"433.milc", "459.GemsFDTD", "470.lbm", "462.libquantum"}
 	cc := CoreConfig{Cores: 1, Page: mem.Page4M}
-	cols := make([]string, len(benchmarks))
-	copy(cols, benchmarks)
-	tb := stats.NewTable("Figure 8: fixed-offset sweep, 4MB pages, 1 core (speedup vs next-line)", cols...)
-	boRow := make([]float64, len(benchmarks))
-	for i, wl := range benchmarks {
-		base := r.baseline(wl, cc)
-		o := r.options(wl, cc)
-		o.L2PF = sim.PFBO
-		boRow[i] = stats.Speedup(base.IPC, r.run(o).IPC)
-	}
-	tb.AddRow("BO", boRow...)
-	for _, d := range offsets {
-		row := make([]float64, len(benchmarks))
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(benchmarks))
+		copy(cols, benchmarks)
+		tb := stats.NewTable("Figure 8: fixed-offset sweep, 4MB pages, 1 core (speedup vs next-line)", cols...)
+		boRow := make([]float64, len(benchmarks))
 		for i, wl := range benchmarks {
-			base := r.baseline(wl, cc)
+			base := run(r.options(wl, cc))
 			o := r.options(wl, cc)
-			o.L2PF = sim.PFOffset
-			o.FixedOffset = d
-			row[i] = stats.Speedup(base.IPC, r.run(o).IPC)
+			o.L2PF = sim.PFBO
+			boRow[i] = stats.Speedup(base.IPC, run(o).IPC)
 		}
-		tb.AddRow(fmt.Sprintf("D=%d", d), row...)
-	}
-	return tb
+		tb.AddRow("BO", boRow...)
+		for _, d := range offsets {
+			row := make([]float64, len(benchmarks))
+			for i, wl := range benchmarks {
+				base := run(r.options(wl, cc))
+				o := r.options(wl, cc)
+				o.L2PF = sim.PFOffset
+				o.FixedOffset = d
+				row[i] = stats.Speedup(base.IPC, run(o).IPC)
+			}
+			tb.AddRow(fmt.Sprintf("D=%d", d), row...)
+		}
+		return tb
+	})
 }
 
 // Fig9 sweeps the BADSCORE throttling threshold (GM speedups).
@@ -325,108 +323,116 @@ func (r *Runner) Fig10() *stats.Table {
 }
 
 func (r *Runner) boParamSweep(title string, values []int, apply func(*core.Params, int), labelFmt string) *stats.Table {
-	cols := make([]string, len(r.Configs))
-	for i, cc := range r.Configs {
-		cols[i] = cc.Label()
-	}
-	tb := stats.NewTable(title, cols...)
-	for _, v := range values {
-		row := make([]float64, len(r.Configs))
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(r.Configs))
 		for i, cc := range r.Configs {
-			ratios := make([]float64, 0, len(r.Benchmarks))
-			for _, wl := range r.Benchmarks {
-				base := r.baseline(wl, cc)
-				o := r.options(wl, cc)
-				o.L2PF = sim.PFBO
-				p := core.DefaultParams()
-				apply(&p, v)
-				o.BOParams = &p
-				ratios = append(ratios, stats.Speedup(base.IPC, r.run(o).IPC))
-			}
-			row[i] = stats.GeoMean(ratios)
+			cols[i] = cc.Label()
 		}
-		tb.AddRow(fmt.Sprintf(labelFmt, v), row...)
-	}
-	return tb
+		tb := stats.NewTable(title, cols...)
+		for _, v := range values {
+			row := make([]float64, len(r.Configs))
+			for i, cc := range r.Configs {
+				ratios := make([]float64, 0, len(r.Benchmarks))
+				for _, wl := range r.Benchmarks {
+					base := run(r.options(wl, cc))
+					o := r.options(wl, cc)
+					o.L2PF = sim.PFBO
+					p := core.DefaultParams()
+					apply(&p, v)
+					o.BOParams = &p
+					ratios = append(ratios, stats.Speedup(base.IPC, run(o).IPC))
+				}
+				row[i] = stats.GeoMean(ratios)
+			}
+			tb.AddRow(fmt.Sprintf(labelFmt, v), row...)
+		}
+		return tb
+	})
 }
 
 // Fig11 compares BO and SBP geometric-mean speedups over the baseline.
 func (r *Runner) Fig11() *stats.Table {
-	cols := make([]string, len(r.Configs))
-	for i, cc := range r.Configs {
-		cols[i] = cc.Label()
-	}
-	tb := stats.NewTable("Figure 11: BO vs SBP (GM speedup vs next-line baseline)", cols...)
-	for _, kind := range []sim.PrefetcherKind{sim.PFBO, sim.PFSBP} {
-		kind := kind
-		row := make([]float64, len(r.Configs))
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(r.Configs))
 		for i, cc := range r.Configs {
-			ratios := make([]float64, 0, len(r.Benchmarks))
-			for _, wl := range r.Benchmarks {
-				base := r.baseline(wl, cc)
-				o := r.options(wl, cc)
-				o.L2PF = kind
-				ratios = append(ratios, stats.Speedup(base.IPC, r.run(o).IPC))
-			}
-			row[i] = stats.GeoMean(ratios)
+			cols[i] = cc.Label()
 		}
-		tb.AddRow(string(kind), row...)
-	}
-	return tb
+		tb := stats.NewTable("Figure 11: BO vs SBP (GM speedup vs next-line baseline)", cols...)
+		for _, kind := range []sim.PrefetcherKind{sim.PFBO, sim.PFSBP} {
+			kind := kind
+			row := make([]float64, len(r.Configs))
+			for i, cc := range r.Configs {
+				ratios := make([]float64, 0, len(r.Benchmarks))
+				for _, wl := range r.Benchmarks {
+					base := run(r.options(wl, cc))
+					o := r.options(wl, cc)
+					o.L2PF = kind
+					ratios = append(ratios, stats.Speedup(base.IPC, run(o).IPC))
+				}
+				row[i] = stats.GeoMean(ratios)
+			}
+			tb.AddRow(string(kind), row...)
+		}
+		return tb
+	})
 }
 
 // Fig12 reports per-benchmark BO speedup relative to SBP.
 func (r *Runner) Fig12() *stats.Table {
-	cols := make([]string, len(r.Configs))
-	for i, cc := range r.Configs {
-		cols[i] = cc.Label()
-	}
-	tb := stats.NewTable("Figure 12: BO speedup relative to SBP", cols...)
-	for _, wl := range r.Benchmarks {
-		row := make([]float64, len(r.Configs))
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(r.Configs))
 		for i, cc := range r.Configs {
-			oBO := r.options(wl, cc)
-			oBO.L2PF = sim.PFBO
-			oSBP := r.options(wl, cc)
-			oSBP.L2PF = sim.PFSBP
-			row[i] = stats.Speedup(r.run(oSBP).IPC, r.run(oBO).IPC)
+			cols[i] = cc.Label()
 		}
-		tb.AddRow(wl, row...)
-	}
-	tb.AddGeoMeanRow()
-	return tb
+		tb := stats.NewTable("Figure 12: BO speedup relative to SBP", cols...)
+		for _, wl := range r.Benchmarks {
+			row := make([]float64, len(r.Configs))
+			for i, cc := range r.Configs {
+				oBO := r.options(wl, cc)
+				oBO.L2PF = sim.PFBO
+				oSBP := r.options(wl, cc)
+				oSBP.L2PF = sim.PFSBP
+				row[i] = stats.Speedup(run(oSBP).IPC, run(oBO).IPC)
+			}
+			tb.AddRow(wl, row...)
+		}
+		tb.AddGeoMeanRow()
+		return tb
+	})
 }
 
 // Fig13 reports DRAM accesses per kilo-instruction (4KB pages, 1 core) for
 // no-prefetch, next-line, BO and SBP, on the memory-active benchmarks.
 func (r *Runner) Fig13() *stats.Table {
-	cc := CoreConfig{Cores: 1, Page: mem.Page4K}
-	kinds := []sim.PrefetcherKind{sim.PFNone, sim.PFNextLine, sim.PFBO, sim.PFSBP}
-	cols := make([]string, len(kinds))
-	for i, k := range kinds {
-		cols[i] = string(k)
-	}
-	tb := stats.NewTable("Figure 13: DRAM accesses per 1000 instructions (4KB, 1 core)", cols...)
-	type entry struct {
-		wl  string
-		row []float64
-	}
-	var entries []entry
-	for _, wl := range r.Benchmarks {
-		row := make([]float64, len(kinds))
+	return r.materialize(func(run runFunc) *stats.Table {
+		cc := CoreConfig{Cores: 1, Page: mem.Page4K}
+		kinds := []sim.PrefetcherKind{sim.PFNone, sim.PFNextLine, sim.PFBO, sim.PFSBP}
+		cols := make([]string, len(kinds))
 		for i, k := range kinds {
-			o := r.options(wl, cc)
-			o.L2PF = k
-			row[i] = r.run(o).DRAMAccessesPerKI
+			cols[i] = string(k)
 		}
-		// The paper omits benchmarks that access DRAM infrequently.
-		if row[1] >= 2 {
-			entries = append(entries, entry{wl, row})
+		tb := stats.NewTable("Figure 13: DRAM accesses per 1000 instructions (4KB, 1 core)", cols...)
+		type entry struct {
+			wl  string
+			row []float64
 		}
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].wl < entries[j].wl })
-	for _, e := range entries {
-		tb.AddRow(e.wl, e.row...)
-	}
-	return tb
+		var entries []entry
+		for _, wl := range r.Benchmarks {
+			row := make([]float64, len(kinds))
+			for i, k := range kinds {
+				o := r.options(wl, cc)
+				o.L2PF = k
+				row[i] = run(o).DRAMAccessesPerKI
+			}
+			// The paper omits benchmarks that access DRAM infrequently.
+			if row[1] >= 2 {
+				entries = append(entries, entry{wl, row})
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].wl < entries[j].wl })
+		for _, e := range entries {
+			tb.AddRow(e.wl, e.row...)
+		}
+		return tb
+	})
 }

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bopsim/internal/sim"
+	"bopsim/internal/stats"
+)
+
+// This file is the Runner's scheduler: figures enumerate the simulations
+// they need, RunJobs deduplicates that set against everything already
+// cached and executes the remainder on a bounded worker pool, and the
+// figure then assembles its table serially from the warm cache — so the
+// rendered output is byte-identical regardless of worker interleaving.
+
+// runFunc executes (or replays from cache) one simulation.
+type runFunc func(sim.Options) sim.Result
+
+// enumerationResult is what the recording stub hands back during the
+// planning pass: harmless non-zero placeholders, since speedup and
+// geometric-mean math reject non-positive values. The table built from
+// them is discarded.
+var enumerationResult = sim.Result{IPC: 1, DRAMAccessesPerKI: 1}
+
+// materialize invokes build twice: first with a recording stub to
+// enumerate every simulation the figure needs, then — after RunJobs has
+// executed the deduplicated job set on the worker pool — against the warm
+// cache to assemble the real table.
+func (r *Runner) materialize(build func(run runFunc) *stats.Table) *stats.Table {
+	var jobs []sim.Options
+	build(func(o sim.Options) sim.Result {
+		jobs = append(jobs, o)
+		return enumerationResult
+	})
+	if err := r.RunJobs(jobs); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return build(r.run)
+}
+
+// RunJobs executes every not-yet-cached simulation in opts on the worker
+// pool and populates the Runner's caches. Duplicate entries (and entries
+// already satisfied by the in-memory cache) are skipped, so callers can
+// enumerate naively. It returns the first simulation error; on error,
+// in-flight jobs complete but no further jobs are dispatched.
+func (r *Runner) RunJobs(opts []sim.Options) error {
+	jobs := r.pendingJobs(opts)
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	total := len(jobs)
+	var done atomic.Int64
+	var failed atomic.Bool
+	var firstErr error
+	var errMu sync.Mutex
+	work := make(chan sim.Options)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range work {
+				if _, err := r.runErr(o); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+				}
+				if r.Progress != nil {
+					r.Progress(int(done.Add(1)), total)
+				}
+			}
+		}()
+	}
+	for _, o := range jobs {
+		// Stop dispatching once any job has failed: the figure is going
+		// to abort anyway, so don't burn hours finishing the sweep.
+		if failed.Load() {
+			break
+		}
+		work <- o
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+// pendingJobs deduplicates opts by cache key and drops entries the
+// in-memory cache already satisfies, preserving first-appearance order.
+func (r *Runner) pendingJobs(opts []sim.Options) []sim.Options {
+	seen := make(map[string]bool, len(opts))
+	var jobs []sim.Options
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, o := range opts {
+		k := optionsKey(o)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := r.cache[k]; ok {
+			continue
+		}
+		jobs = append(jobs, o)
+	}
+	return jobs
+}
+
+// runErr executes one simulation unless a cache satisfies it: in-memory
+// first, then the on-disk cache (when CacheDir is set). Fresh results are
+// written through to both. Safe for concurrent use.
+func (r *Runner) runErr(o sim.Options) (sim.Result, error) {
+	key := optionsKey(o)
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	if r.CacheDir != "" {
+		if res, ok := (diskCache{r.CacheDir}).load(key); ok {
+			r.mu.Lock()
+			r.cache[key] = res
+			r.mu.Unlock()
+			r.logf("  load %-55s IPC=%.3f\n", describeOptions(o), res.IPC)
+			return res, nil
+		}
+	}
+	res, err := sim.Run(o)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r.executed.Add(1)
+	r.logf("  ran  %-55s IPC=%.3f\n", describeOptions(o), res.IPC)
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	if r.CacheDir != "" {
+		if err := (diskCache{r.CacheDir}).store(key, o, res); err != nil {
+			r.logf("  cache write failed: %v\n", err)
+		}
+	}
+	return res, nil
+}
+
+// run is runErr with the historical panic-on-error contract the figure
+// builders rely on.
+func (r *Runner) run(o sim.Options) sim.Result {
+	res, err := r.runErr(o)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// Executed returns how many simulations this Runner actually ran (cache
+// hits, in memory or on disk, are not counted).
+func (r *Runner) Executed() uint64 { return uint64(r.executed.Load()) }
+
+// logf writes one progress line to r.Log, serializing concurrent workers.
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log == nil {
+		return
+	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.Log, format, args...)
+}
+
+// describeOptions renders the human-readable run description used in log
+// lines (the cache key itself is an opaque hash).
+func describeOptions(o sim.Options) string {
+	o = o.Normalized()
+	d := fmt.Sprintf("%s|%d-core/%s|%s", o.Workload, o.Cores, o.Page, o.L2PF)
+	if o.L2PF == sim.PFOffset {
+		d += fmt.Sprintf("(D=%d)", o.FixedOffset)
+	}
+	if o.BOParams != nil {
+		d += fmt.Sprintf("|rr%d,bad%d", o.BOParams.RREntries, o.BOParams.BadScore)
+	}
+	d += fmt.Sprintf("|%s|stride=%v|n=%d|seed=%d", o.L3Policy, o.StridePF, o.Instructions, o.Seed)
+	return d
+}

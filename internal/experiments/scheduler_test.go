@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/sbp"
+	"bopsim/internal/sim"
+)
+
+// TestParallelMatchesSerial is the scheduler's core guarantee: the rendered
+// tables are byte-identical whether the job set runs on one worker or many.
+func TestParallelMatchesSerial(t *testing.T) {
+	render := func(workers int) (string, string) {
+		r := tinyRunner()
+		r.Workers = workers
+		return r.Fig2().String(), r.Fig6().String()
+	}
+	fig2Serial, fig6Serial := render(1)
+	fig2Par, fig6Par := render(8)
+	if fig2Serial != fig2Par {
+		t.Errorf("Fig2 differs between -j 1 and -j 8:\n%s\n---\n%s", fig2Serial, fig2Par)
+	}
+	if fig6Serial != fig6Par {
+		t.Errorf("Fig6 differs between -j 1 and -j 8:\n%s\n---\n%s", fig6Serial, fig6Par)
+	}
+}
+
+// TestProgressReporting checks the callback sees every scheduled job and a
+// consistent total.
+func TestProgressReporting(t *testing.T) {
+	r := tinyRunner()
+	r.Workers = 4
+	var mu sync.Mutex
+	calls := 0
+	lastTotal := 0
+	r.Progress = func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		lastTotal = total
+		if done < 1 || done > total {
+			t.Errorf("progress (%d, %d) out of range", done, total)
+		}
+	}
+	r.Fig6() // 2 benchmarks x 1 config x {baseline, BO} = 4 sims
+	if calls != 4 || lastTotal != 4 {
+		t.Errorf("progress called %d times with total %d, want 4/4", calls, lastTotal)
+	}
+	// A fully cached figure schedules nothing.
+	calls = 0
+	r.Fig6()
+	if calls != 0 {
+		t.Errorf("progress called %d times on a cached figure", calls)
+	}
+}
+
+// TestRunJobsDedup checks duplicate option sets collapse to one execution.
+func TestRunJobsDedup(t *testing.T) {
+	r := tinyRunner()
+	o := r.options("416.gamess", CoreConfig{Cores: 1, Page: mem.Page4K})
+	// Same run spelled three ways: verbatim, duplicated, and with zero
+	// values instead of explicit defaults.
+	zeroSpelling := o
+	zeroSpelling.L3Policy = ""
+	if err := r.RunJobs([]sim.Options{o, o, zeroSpelling}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Executed(); got != 1 {
+		t.Errorf("executed %d simulations, want 1", got)
+	}
+}
+
+// TestRunJobsAbortsAfterFailure checks a failing job stops the dispatch of
+// the jobs queued behind it (in-flight ones still finish).
+func TestRunJobsAbortsAfterFailure(t *testing.T) {
+	r := tinyRunner()
+	r.Workers = 1
+	bad := r.options("no-such-benchmark", CoreConfig{Cores: 1, Page: mem.Page4K})
+	jobs := []sim.Options{bad}
+	for seed := uint64(1); seed <= 20; seed++ {
+		o := r.options("416.gamess", CoreConfig{Cores: 1, Page: mem.Page4K})
+		o.Seed = seed
+		jobs = append(jobs, o)
+	}
+	if err := r.RunJobs(jobs); err == nil {
+		t.Fatal("RunJobs returned no error for an unknown benchmark")
+	}
+	// With one worker the failure lands before most dispatches; allow the
+	// handful that can race the flag.
+	if got := r.Executed(); got > 2 {
+		t.Errorf("executed %d queued jobs after the failure, want <= 2", got)
+	}
+}
+
+// TestDiskCachePersists checks a second Runner pointed at the same cache
+// directory replays every result from disk, executing nothing, and renders
+// identical bytes.
+func TestDiskCachePersists(t *testing.T) {
+	dir := t.TempDir()
+
+	r1 := tinyRunner()
+	r1.CacheDir = dir
+	first := r1.Fig6().String()
+	if r1.Executed() == 0 {
+		t.Fatal("first runner executed nothing")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != int(r1.Executed()) {
+		t.Fatalf("%d cache files for %d executions (err %v)", len(files), r1.Executed(), err)
+	}
+
+	r2 := tinyRunner()
+	r2.CacheDir = dir
+	second := r2.Fig6().String()
+	if got := r2.Executed(); got != 0 {
+		t.Errorf("second runner executed %d simulations, want 0 (disk cache)", got)
+	}
+	if first != second {
+		t.Errorf("disk-cached table differs:\n%s\n---\n%s", first, second)
+	}
+}
+
+// TestDiskCacheIgnoresCorruptEntries checks a truncated cache file is
+// re-executed rather than trusted.
+func TestDiskCacheIgnoresCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	r1 := tinyRunner()
+	r1.CacheDir = dir
+	r1.Fig2()
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) == 0 {
+		t.Fatal("no cache files written")
+	}
+	if err := os.WriteFile(files[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2 := tinyRunner()
+	r2.CacheDir = dir
+	r2.Fig2()
+	if got := r2.Executed(); got != 1 {
+		t.Errorf("executed %d simulations after corrupting one entry, want 1", got)
+	}
+}
+
+// TestOptionsKeyComplete checks every outcome-affecting option participates
+// in the cache key — the historical key omitted Seed, TracePath, SBPParams
+// and MaxCycles, aliasing distinct runs to one cached result.
+func TestOptionsKeyComplete(t *testing.T) {
+	base := sim.DefaultOptions("433.milc")
+	mutations := map[string]func(*sim.Options){
+		"Seed":         func(o *sim.Options) { o.Seed = 99 },
+		"TracePath":    func(o *sim.Options) { o.TracePath = "some.trace" },
+		"MaxCycles":    func(o *sim.Options) { o.MaxCycles = 123_456 },
+		"SBPParams":    func(o *sim.Options) { p := sbp.DefaultParams(); p.Period = 128; o.SBPParams = &p },
+		"Instructions": func(o *sim.Options) { o.Instructions = 1 },
+		"Workload":     func(o *sim.Options) { o.Workload = "470.lbm" },
+		"CPU":          func(o *sim.Options) { o.CPU.ROBSize = 128 },
+		"FixedOffset":  func(o *sim.Options) { o.FixedOffset = 3 },
+	}
+	baseKey := optionsKey(base)
+	for field, mutate := range mutations {
+		o := base
+		mutate(&o)
+		if optionsKey(o) == baseKey {
+			t.Errorf("changing %s does not change the cache key", field)
+		}
+	}
+	// Equivalent spellings alias deliberately: zero values hash like their
+	// resolved defaults.
+	implicit := base
+	implicit.L3Policy = ""
+	implicit.MaxCycles = 0
+	if optionsKey(implicit) != baseKey {
+		t.Error("normalized-equal options hash differently")
+	}
+}

@@ -1,189 +1,56 @@
-// Package sim assembles full-system simulations: cores executing workload
-// generators against the shared uncore, with the six baseline
-// configurations of the paper ({1,2,4} active cores x {4KB,4MB} pages).
-// Core 0 runs the benchmark under study; any other active core runs the
-// cache-thrashing micro-benchmark, exactly as in section 5.1.
+// Package sim is the convenience facade over internal/engine: one call runs
+// a full-system simulation (cores executing workload generators against the
+// shared uncore, with the six baseline configurations of the paper —
+// {1,2,4} active cores x {4KB,4MB} pages) to completion and returns its
+// measurements. Core 0 runs the benchmark under study; any other active
+// core runs the cache-thrashing micro-benchmark, exactly as in section 5.1.
+//
+// The types here are aliases of the engine's, so code holding a sim.Options
+// can construct an engine.Simulation directly when it needs stepping,
+// snapshots or cancellation.
 package sim
 
 import (
+	"context"
 	"fmt"
 
-	"bopsim/internal/core"
-	"bopsim/internal/cpu"
-	"bopsim/internal/dram"
+	"bopsim/internal/engine"
 	"bopsim/internal/mem"
-	"bopsim/internal/prefetch"
-	"bopsim/internal/sbp"
-	"bopsim/internal/trace"
-	"bopsim/internal/uncore"
 )
 
 // PrefetcherKind selects the L2 prefetcher.
-type PrefetcherKind string
+type PrefetcherKind = engine.PrefetcherKind
 
 // Available L2 prefetcher configurations.
 const (
-	PFNone     PrefetcherKind = "none"
-	PFNextLine PrefetcherKind = "nextline"
-	PFOffset   PrefetcherKind = "offset" // fixed offset (Options.FixedOffset)
-	PFBO       PrefetcherKind = "bo"
-	PFSBP      PrefetcherKind = "sbp"
+	PFNone     = engine.PFNone
+	PFNextLine = engine.PFNextLine
+	PFOffset   = engine.PFOffset
+	PFBO       = engine.PFBO
+	PFSBP      = engine.PFSBP
 )
 
 // Options describes one simulation run.
-type Options struct {
-	Workload string
-	// TracePath, when non-empty, replays a recorded trace file on core 0
-	// instead of the named synthetic workload (see internal/trace's file
-	// format and cmd/tracegen).
-	TracePath    string
-	Cores        int // active cores: 1, 2 or 4
-	Page         mem.PageSize
-	L2PF         PrefetcherKind
-	FixedOffset  int    // used when L2PF == PFOffset
-	L3Policy     string // "5P" (default), "LRU", "DRRIP"
-	StridePF     bool
-	LatePromote  bool
-	Instructions uint64 // retired instructions on core 0
-	Seed         uint64
-	// BOParams overrides the Best-Offset parameters (nil = Table 2).
-	BOParams *core.Params
-	// SBPParams overrides the Sandbox parameters (nil = section 6.3).
-	SBPParams *sbp.Params
-	CPU       cpu.Config
-	// MaxCycles aborts a wedged simulation; 0 means a generous default.
-	MaxCycles uint64
-}
+type Options = engine.Options
+
+// Result carries the measurements of one run.
+type Result = engine.Result
 
 // DefaultOptions returns a 1-core, 4KB-page, next-line-prefetcher run of
 // the named workload.
 func DefaultOptions(workload string) Options {
-	return Options{
-		Workload:     workload,
-		Cores:        1,
-		Page:         mem.Page4K,
-		L2PF:         PFNextLine,
-		L3Policy:     "5P",
-		StridePF:     true,
-		LatePromote:  true,
-		Instructions: 500_000,
-		Seed:         1,
-		CPU:          cpu.DefaultConfig(),
-	}
+	return engine.DefaultOptions(workload)
 }
 
-// Result carries the measurements of one run.
-type Result struct {
-	Workload     string
-	IPC          float64
-	Cycles       uint64
-	Instructions uint64
-	Hier         uncore.Stats
-	DRAM         dram.Stats
-	// DRAMAccessesPerKI is DRAM reads+writes per 1000 core-0 instructions
-	// (Figure 13's metric).
-	DRAMAccessesPerKI float64
-	// BO holds Best-Offset learning statistics when L2PF == PFBO.
-	BO *core.Stats
-	// FinalBOOffset is the offset BO ended the run with (0 otherwise).
-	FinalBOOffset int
-}
-
-// newPrefetcher builds the configured L2 prefetcher for one core.
-func (o Options) newPrefetcher() prefetch.L2Prefetcher {
-	switch o.L2PF {
-	case PFNone:
-		return prefetch.None{}
-	case PFNextLine, "":
-		return prefetch.NewNextLine(o.Page)
-	case PFOffset:
-		return prefetch.NewFixedOffset(o.Page, o.FixedOffset)
-	case PFBO:
-		p := core.DefaultParams()
-		if o.BOParams != nil {
-			p = *o.BOParams
-		}
-		return core.New(o.Page, p)
-	case PFSBP:
-		p := sbp.DefaultParams()
-		if o.SBPParams != nil {
-			p = *o.SBPParams
-		}
-		return sbp.New(o.Page, p)
-	}
-	panic(fmt.Sprintf("sim: unknown prefetcher %q", o.L2PF))
-}
-
-// Run executes one simulation and returns its measurements.
+// Run executes one simulation to completion and returns its measurements.
+// It is the uncancellable compatibility wrapper around engine.New +
+// Simulation.Run; use the engine directly for stepping or cancellation.
 func Run(o Options) (Result, error) {
-	if o.Cores < 1 || o.Cores > 4 {
-		return Result{}, fmt.Errorf("sim: %d active cores unsupported (want 1, 2 or 4)", o.Cores)
-	}
-	if o.Instructions == 0 {
-		o.Instructions = 500_000
-	}
-	if o.CPU.ROBSize == 0 {
-		o.CPU = cpu.DefaultConfig()
-	}
-	maxCycles := o.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = o.Instructions * 400 // IPC floor of 1/400 before declaring a wedge
-	}
-
-	ucfg := uncore.DefaultConfig(o.Cores, o.Page)
-	ucfg.L3Policy = o.L3Policy
-	if ucfg.L3Policy == "" {
-		ucfg.L3Policy = "5P"
-	}
-	ucfg.StridePrefetcher = o.StridePF
-	ucfg.LatePromotion = o.LatePromote
-	ucfg.Seed = o.Seed
-
-	hier := uncore.New(ucfg, func(int) prefetch.L2Prefetcher { return o.newPrefetcher() }, nil)
-
-	var gen trace.Generator
-	var err error
-	if o.TracePath != "" {
-		gen, err = trace.OpenTraceFile(o.TracePath)
-	} else {
-		gen, err = trace.NewWorkload(o.Workload, o.Seed)
-	}
+	s, err := engine.New(o)
 	if err != nil {
 		return Result{}, err
 	}
-	cores := []*cpu.Core{cpu.New(0, o.CPU, hier, gen)}
-	for i := 1; i < o.Cores; i++ {
-		cores = append(cores, cpu.New(i, o.CPU, hier, trace.NewThrasher(o.Seed+uint64(i)*7919)))
-	}
-
-	var now uint64
-	for cores[0].Retired < o.Instructions {
-		for _, c := range cores {
-			c.Cycle(now)
-		}
-		hier.Tick(now)
-		now++
-		if now >= maxCycles {
-			return Result{}, fmt.Errorf("sim: %s wedged after %d cycles (%d/%d instructions)",
-				o.Workload, now, cores[0].Retired, o.Instructions)
-		}
-	}
-
-	res := Result{
-		Workload:     o.Workload,
-		IPC:          float64(cores[0].Retired) / float64(now),
-		Cycles:       now,
-		Instructions: cores[0].Retired,
-		Hier:         hier.Stats(),
-		DRAM:         hier.Memory().TotalStats(),
-	}
-	res.DRAMAccessesPerKI = float64(hier.Memory().Accesses()) / float64(cores[0].Retired) * 1000
-	if bo, ok := hier.L2Prefetcher(0).(*core.Prefetcher); ok {
-		s := bo.Stats()
-		res.BO = &s
-		res.FinalBOOffset = bo.Offset()
-	}
-	return res, nil
+	return s.Run(context.Background())
 }
 
 // MustRun is Run that panics on error, for examples and benchmarks.

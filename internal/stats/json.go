@@ -1,0 +1,41 @@
+package stats
+
+import "encoding/json"
+
+// tableJSON is the machine-readable form of a Table, written by
+// cmd/experiments -json alongside the text rendering so downstream tooling
+// (plotting scripts, regression checks) need not parse fixed-width text.
+type tableJSON struct {
+	Title   string         `json:"title"`
+	Columns []string       `json:"columns"`
+	Rows    []tableRowJSON `json:"rows"`
+}
+
+type tableRowJSON struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON encodes the table with its rows in insertion order.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, Columns: t.Columns, Rows: []tableRowJSON{}}
+	for _, r := range t.rows {
+		out.Rows = append(out.Rows, tableRowJSON{Label: r.label, Values: r.values})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a table encoded by MarshalJSON.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	t.Title = in.Title
+	t.Columns = in.Columns
+	t.rows = nil
+	for _, r := range in.Rows {
+		t.rows = append(t.rows, tableRow{label: r.Label, values: r.Values})
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("Figure X", "1-core/4KB", "1-core/4MB")
+	tb.AddRow("433.milc", 1.25, 1.5)
+	tb.AddRow("470.lbm", 0.9, 1.1)
+	tb.AddGeoMeanRow()
+
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"title":"Figure X"`, `"433.milc"`, `"GM"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("JSON missing %s: %s", want, b)
+		}
+	}
+
+	var back Table
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tb.String() {
+		t.Errorf("round trip changed rendering:\n%s\n---\n%s", tb.String(), back.String())
+	}
+}
+
+func TestTableJSONEmptyRows(t *testing.T) {
+	tb := NewTable("empty", "a")
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"rows":[]`) {
+		t.Errorf("empty table must encode rows as [], got %s", b)
+	}
+}
