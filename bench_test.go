@@ -93,7 +93,7 @@ func BenchmarkFig3DRRIPvs5P(b *testing.B) {
 
 func BenchmarkFig4NoStridePF(b *testing.B) {
 	runPair(b, baseOpts("465.tonto", 1, mem.Page4M), func(o sim.Options) sim.Options {
-		o.StridePF = false
+		o.L1PF = prefetch.Spec{Name: "none"}
 		return o
 	})
 }
@@ -114,8 +114,7 @@ func BenchmarkFig6BOvsNextLine(b *testing.B) {
 
 func BenchmarkFig7FixedOffset5(b *testing.B) {
 	runPair(b, baseOpts("437.leslie3d", 1, mem.Page4K), func(o sim.Options) sim.Options {
-		o.L2PF = sim.PFOffset
-		o.FixedOffset = 5
+		o.L2PF = sim.PFOffsetD(5)
 		return o
 	})
 }
@@ -123,28 +122,21 @@ func BenchmarkFig7FixedOffset5(b *testing.B) {
 func BenchmarkFig8OffsetSweepPoint(b *testing.B) {
 	// One sweep point of Figure 8: offset 32 on the milc stand-in (a peak).
 	runPair(b, baseOpts("433.milc", 1, mem.Page4M), func(o sim.Options) sim.Options {
-		o.L2PF = sim.PFOffset
-		o.FixedOffset = 32
+		o.L2PF = sim.PFOffsetD(32)
 		return o
 	})
 }
 
 func BenchmarkFig9BadScore10(b *testing.B) {
 	runPair(b, baseOpts("429.mcf", 1, mem.Page4K), func(o sim.Options) sim.Options {
-		o.L2PF = sim.PFBO
-		p := core.DefaultParams()
-		p.BadScore = 10
-		o.BOParams = &p
+		o.L2PF = sim.PFBO.With("badscore", "10")
 		return o
 	})
 }
 
 func BenchmarkFig10RR32(b *testing.B) {
 	runPair(b, baseOpts("429.mcf", 1, mem.Page4K), func(o sim.Options) sim.Options {
-		o.L2PF = sim.PFBO
-		p := core.DefaultParams()
-		p.RREntries = 32
-		o.BOParams = &p
+		o.L2PF = sim.PFBO.With("rr", "32")
 		return o
 	})
 }
@@ -191,10 +183,7 @@ func BenchmarkAblationRRAtIssue(b *testing.B) {
 		stock := base
 		stock.L2PF = sim.PFBO
 		abl := base
-		abl.L2PF = sim.PFBO
-		p := core.DefaultParams()
-		p.InsertRRAtIssue = true
-		abl.BOParams = &p
+		abl.L2PF = sim.PFBO.With("rratissue", "true")
 		ratio = sim.MustRun(abl).IPC / sim.MustRun(stock).IPC
 	}
 	b.ReportMetric(ratio, "ablated/stock")
@@ -207,10 +196,7 @@ func BenchmarkAblationNoPrefetchBit(b *testing.B) {
 		stock := base
 		stock.L2PF = sim.PFBO
 		abl := base
-		abl.L2PF = sim.PFBO
-		p := core.DefaultParams()
-		p.TriggerOnAllAccesses = true
-		abl.BOParams = &p
+		abl.L2PF = sim.PFBO.With("allaccess", "true")
 		ratio = sim.MustRun(abl).IPC / sim.MustRun(stock).IPC
 	}
 	b.ReportMetric(ratio, "ablated/stock")
@@ -223,10 +209,7 @@ func BenchmarkAblationDenseList(b *testing.B) {
 		stock := base
 		stock.L2PF = sim.PFBO
 		abl := base
-		abl.L2PF = sim.PFBO
-		p := core.DefaultParams()
-		p.Offsets = prefetch.DenseOffsetList(64)
-		abl.BOParams = &p
+		abl.L2PF = sim.PFBO.With("offsets", prefetch.FormatInts(prefetch.DenseOffsetList(64)))
 		ratio = sim.MustRun(abl).IPC / sim.MustRun(stock).IPC
 	}
 	b.ReportMetric(ratio, "ablated/stock")
@@ -256,9 +239,7 @@ func BenchmarkExtensionDegreeTwo(b *testing.B) {
 		stock := base
 		stock.L2PF = sim.PFBO
 		ext := base
-		ext.L2PF = sim.PFBO
-		p := core.DegreeTwoParams()
-		ext.BOParams = &p
+		ext.L2PF = sim.PFBO.With("degree", "2")
 		ratio = sim.MustRun(ext).IPC / sim.MustRun(stock).IPC
 	}
 	b.ReportMetric(ratio, "degree2/stock")
@@ -273,10 +254,8 @@ func BenchmarkExtensionNegativeOffsets(b *testing.B) {
 		stock := base
 		stock.L2PF = sim.PFBO
 		ext := base
-		ext.L2PF = sim.PFBO
-		p := core.DefaultParams()
-		p.Offsets = core.WithNegativeOffsets(p.Offsets)
-		ext.BOParams = &p
+		ext.L2PF = sim.PFBO.With("offsets",
+			prefetch.FormatInts(core.WithNegativeOffsets(prefetch.DefaultOffsetList())))
 		ratio = sim.MustRun(ext).IPC / sim.MustRun(stock).IPC
 	}
 	b.ReportMetric(ratio, "negatives/stock")
@@ -292,9 +271,7 @@ func BenchmarkExtensionAdaptiveThrottle(b *testing.B) {
 		stock := base
 		stock.L2PF = sim.PFBO
 		ext := base
-		ext.L2PF = sim.PFBO
-		p := core.AdaptiveThrottleParams()
-		ext.BOParams = &p
+		ext.L2PF = sim.PFBO.With("adaptive", "true")
 		ratio = sim.MustRun(ext).IPC / sim.MustRun(stock).IPC
 	}
 	b.ReportMetric(ratio, "adaptive/stock")
@@ -310,7 +287,7 @@ func BenchmarkRunnerParallel(b *testing.B) {
 	var jobs []sim.Options
 	for _, wl := range []string{"433.milc", "462.libquantum", "429.mcf", "456.hmmer"} {
 		for _, page := range []mem.PageSize{mem.Page4K, mem.Page4M} {
-			for _, pf := range []sim.PrefetcherKind{sim.PFNextLine, sim.PFBO} {
+			for _, pf := range []prefetch.Spec{sim.PFNextLine, sim.PFBO} {
 				o := baseOpts(wl, 1, page)
 				o.Instructions = 60_000
 				o.L2PF = pf

@@ -4,10 +4,14 @@
 // a long run cleanly (reporting the partial measurements) and -progress
 // shows the run advancing.
 //
+// Prefetchers are selected by registry spec: any name printed by -list-pf,
+// optionally parameterized as name:key=value,key=value.
+//
 // Usage:
 //
-//	bosim -workload 462.libquantum -pf bo -page 4MB -cores 1 -n 1000000
-//	bosim -workload 429.mcf -pf bo -progress -json
+//	bosim -workload 462.libquantum -l2pf bo -page 4MB -cores 1 -n 1000000
+//	bosim -workload 433.milc -l2pf offset:d=4 -l1pf none
+//	bosim -workload 429.mcf -l2pf bo:badscore=5 -progress -json
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 
 	"bopsim/internal/engine"
 	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
 	"bopsim/internal/sim"
 	"bopsim/internal/trace"
 )
@@ -31,13 +36,16 @@ func main() {
 		tracePath = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
 		cores     = flag.Int("cores", 1, "active cores (1, 2 or 4)")
 		pageStr   = flag.String("page", "4KB", "page size: 4KB or 4MB")
-		pf        = flag.String("pf", "nextline", "L2 prefetcher: none|nextline|offset|bo|sbp")
-		offset    = flag.Int("offset", 1, "offset for -pf offset")
+		l2pf      = flag.String("l2pf", "nextline", "L2 prefetcher spec, e.g. bo, offset:d=4, bo:badscore=5 (see -list-pf)")
+		l1pf      = flag.String("l1pf", "stride", "DL1 prefetcher spec: stride, stride:dist=8, none")
+		pf        = flag.String("pf", "", "deprecated: historical enum spelling of -l2pf (none|nextline|offset|bo|sbp)")
+		offset    = flag.Int("offset", 1, "deprecated: offset for -pf offset (use -l2pf offset:d=N)")
 		n         = flag.Uint64("n", 500_000, "instructions to retire on core 0")
 		l3        = flag.String("l3", "5P", "L3 replacement policy: 5P|LRU|DRRIP")
-		noStride  = flag.Bool("nostride", false, "disable the DL1 stride prefetcher")
+		noStride  = flag.Bool("nostride", false, "deprecated: disable the DL1 stride prefetcher (use -l1pf none)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		list      = flag.Bool("list", false, "list available workloads and exit")
+		listPF    = flag.Bool("list-pf", false, "list registered prefetchers and their spec names, then exit")
 		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of text")
 		progress  = flag.Bool("progress", false, "report live progress on stderr while running")
 	)
@@ -46,6 +54,17 @@ func main() {
 	if *list {
 		for _, b := range trace.Benchmarks() {
 			fmt.Println(b)
+		}
+		return
+	}
+	if *listPF {
+		fmt.Println("L2 prefetchers (-l2pf):")
+		for _, name := range prefetch.L2Names() {
+			fmt.Printf("  %-10s %s\n", name, prefetch.L2Help(name))
+		}
+		fmt.Println("DL1 prefetchers (-l1pf):")
+		for _, name := range prefetch.L1Names() {
+			fmt.Printf("  %-10s %s\n", name, prefetch.L1Help(name))
 		}
 		return
 	}
@@ -63,10 +82,12 @@ func main() {
 	o := sim.DefaultOptions(*workload)
 	o.Cores = *cores
 	o.Page = page
-	o.L2PF = sim.PrefetcherKind(*pf)
-	o.FixedOffset = *offset
+	o.L2PF = l2Spec(*l2pf, *pf, *offset)
+	o.L1PF = parseSpec(*l1pf)
+	if *noStride {
+		o.L1PF = prefetch.Spec{Name: "none"}
+	}
 	o.L3Policy = *l3
-	o.StridePF = !*noStride
 	o.Instructions = *n
 	o.Seed = *seed
 	o.TracePath = *tracePath
@@ -109,7 +130,7 @@ func main() {
 	}
 
 	fmt.Printf("workload        %s\n", r.Workload)
-	fmt.Printf("config          %s, L2 prefetcher %s, L3 %s\n", sim.ConfigLabel(*cores, page), *pf, *l3)
+	fmt.Printf("config          %s, L2 prefetcher %s, L3 %s\n", sim.ConfigLabel(*cores, page), s.Options().L2PF, *l3)
 	fmt.Printf("instructions    %d\n", r.Instructions)
 	fmt.Printf("cycles          %d\n", r.Cycles)
 	fmt.Printf("IPC             %.4f\n", r.IPC)
@@ -135,6 +156,31 @@ func exitInterrupted(interrupted bool) {
 	if interrupted {
 		os.Exit(130)
 	}
+}
+
+// l2Spec resolves the L2 prefetcher selection: the deprecated -pf/-offset
+// enum spelling wins when given (so historical invocations keep working),
+// otherwise -l2pf is parsed as a registry spec.
+func l2Spec(l2pf, legacy string, legacyOffset int) prefetch.Spec {
+	if legacy != "" {
+		if legacy == "offset" {
+			return sim.PFOffsetD(legacyOffset)
+		}
+		return parseSpec(legacy)
+	}
+	return parseSpec(l2pf)
+}
+
+// parseSpec parses a spec flag, exiting with a usage error on bad syntax
+// (unknown names and parameters are reported by engine.New, which can list
+// the registered alternatives).
+func parseSpec(s string) prefetch.Spec {
+	sp, err := prefetch.ParseSpec(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+		os.Exit(2)
+	}
+	return sp
 }
 
 // run drives the simulation to completion. Without -progress it defers to

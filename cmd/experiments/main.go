@@ -11,6 +11,8 @@
 //	experiments -all -j 8 -cache .simcache     # parallel + persistent cache
 //	experiments -fig6 -n 500000 -json out/     # full six configs for Figure 6
 //	experiments -fig8 -benchmarks 433.milc,470.lbm
+//	experiments -zoo -quick                    # every registered prefetcher
+//	experiments -all -cache .simcache -cache-max-mb 256
 package main
 
 import (
@@ -41,8 +43,11 @@ func main() {
 		cacheDir = flag.String("cache", "", "persistent result-cache directory (empty: in-memory only)")
 		jsonDir  = flag.String("json", "", "also write each figure as JSON into this directory")
 
+		cacheMaxMB = flag.Int64("cache-max-mb", 0, "evict oldest cache entries past this size budget after the run (0: unbounded)")
+
 		table1 = flag.Bool("table1", false, "print Table 1 (baseline microarchitecture)")
 		table2 = flag.Bool("table2", false, "print Table 2 (BO parameters)")
+		zoo    = flag.Bool("zoo", false, "run every registered L2 prefetcher (the registry-driven ablation sweep)")
 		doPlot = flag.Bool("plot", false, "render each figure's first column as an ASCII chart")
 		fig    [14]*bool
 	)
@@ -50,6 +55,18 @@ func main() {
 		fig[i] = flag.Bool(fmt.Sprintf("fig%d", i), false, fmt.Sprintf("regenerate Figure %d", i))
 	}
 	flag.Parse()
+
+	if *cacheDir != "" {
+		// Rewrite any enum-era (v1) entries to the spec-based schema before
+		// the Runner consults the cache, so a version bump costs a rekey,
+		// not a re-simulation.
+		if migrated, dropped, err := experiments.MigrateCache(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cache migration: %v\n", err)
+			os.Exit(1)
+		} else if migrated > 0 || dropped > 0 {
+			fmt.Fprintf(os.Stderr, "cache: migrated %d entries to schema v2 (%d dropped)\n", migrated, dropped)
+		}
+	}
 
 	configs := experiments.AllConfigs()
 	if *quick {
@@ -91,7 +108,7 @@ func main() {
 		}
 	}
 
-	any := *table1 || *table2
+	any := *table1 || *table2 || *zoo
 	for i := 2; i <= 13; i++ {
 		any = any || *fig[i]
 	}
@@ -178,6 +195,20 @@ func main() {
 	}
 	if *all || *fig[13] {
 		show("fig13", r.Fig13())
+	}
+	if *all || *zoo {
+		show("zoo", r.Zoo())
+	}
+	if *cacheDir != "" && *cacheMaxMB > 0 {
+		removed, freed, err := experiments.EvictCache(*cacheDir, *cacheMaxMB<<20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cache eviction: %v\n", err)
+			os.Exit(1)
+		}
+		if removed > 0 {
+			fmt.Fprintf(os.Stderr, "cache: evicted %d oldest entries (%d KB) to stay under %d MB\n",
+				removed, freed>>10, *cacheMaxMB)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "total time: %v (%d simulations executed, -j %d)\n",
 		time.Since(start).Round(time.Millisecond), r.Executed(), *jobs)

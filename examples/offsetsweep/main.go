@@ -9,28 +9,28 @@ import (
 	"strings"
 
 	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
 	"bopsim/internal/sim"
 )
 
-func run(pf sim.PrefetcherKind, offset int) sim.Result {
+func run(pf prefetch.Spec) sim.Result {
 	o := sim.DefaultOptions("433.milc")
 	o.Page = mem.Page4M
 	o.Instructions = 250_000
 	o.L2PF = pf
-	o.FixedOffset = offset
 	return sim.MustRun(o)
 }
 
 func main() {
-	baseline := run(sim.PFNextLine, 1)
-	bo := run(sim.PFBO, 0)
+	baseline := run(sim.PFNextLine)
+	bo := run(sim.PFBO)
 	boSpeedup := bo.IPC / baseline.IPC
 
 	fmt.Printf("433.milc stand-in, 4MB pages, 1 core (speedup vs next-line)\n")
 	fmt.Printf("BO prefetcher: %.3f (learned offset %d)\n\n", boSpeedup, bo.FinalBOOffset)
 
 	for d := 2; d <= 128; d += 2 {
-		r := run(sim.PFOffset, d)
+		r := run(sim.PFOffsetD(d))
 		speedup := r.IPC / baseline.IPC
 		bar := int((speedup - 0.90) * 100)
 		if bar < 0 {

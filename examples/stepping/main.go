@@ -12,12 +12,13 @@ import (
 
 	"bopsim/internal/engine"
 	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
 )
 
 func main() {
 	o := engine.DefaultOptions("433.milc")
 	o.Page = mem.Page4M
-	o.L2PF = engine.PFBO
+	o.L2PF = prefetch.MustSpec("bo")
 	o.Instructions = 400_000
 
 	s, err := engine.New(o)

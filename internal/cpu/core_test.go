@@ -5,6 +5,7 @@ import (
 
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
+	"bopsim/internal/stride"
 	"bopsim/internal/trace"
 	"bopsim/internal/uncore"
 )
@@ -27,7 +28,10 @@ func (g *listGen) Next() trace.Inst {
 
 func newTestSystem(insts []trace.Inst) (*Core, *uncore.Hierarchy) {
 	cfg := uncore.DefaultConfig(1, mem.Page4K)
-	h := uncore.New(cfg, func(int) prefetch.L2Prefetcher { return prefetch.None{} }, nil)
+	h := uncore.New(cfg,
+		func(int) prefetch.L2Prefetcher { return prefetch.None{} },
+		func(int) prefetch.L1Prefetcher { return stride.New() },
+		nil)
 	c := New(0, DefaultConfig(), h, &listGen{insts: insts})
 	return c, h
 }

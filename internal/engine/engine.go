@@ -7,6 +7,11 @@
 // simulations on a worker pool, tools sampling mid-run state, anything that
 // must honour cancellation — construct a Simulation and drive it.
 //
+// Prefetchers are configured through prefetch.Spec and the prefetcher
+// registry: the engine never names a concrete prefetcher, so the prefetcher
+// zoo grows by registration (see internal/prefetch/all), not by engine
+// edits.
+//
 // The layering (see DESIGN.md) is:
 //
 //	engine.Simulation   one run: New -> Step/Run(ctx) -> Snapshot
@@ -23,21 +28,9 @@ import (
 	"bopsim/internal/dram"
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
-	"bopsim/internal/sbp"
+	_ "bopsim/internal/prefetch/all" // link every registered prefetcher
 	"bopsim/internal/trace"
 	"bopsim/internal/uncore"
-)
-
-// PrefetcherKind selects the L2 prefetcher.
-type PrefetcherKind string
-
-// Available L2 prefetcher configurations.
-const (
-	PFNone     PrefetcherKind = "none"
-	PFNextLine PrefetcherKind = "nextline"
-	PFOffset   PrefetcherKind = "offset" // fixed offset (Options.FixedOffset)
-	PFBO       PrefetcherKind = "bo"
-	PFSBP      PrefetcherKind = "sbp"
 )
 
 // Options describes one simulation run. The zero values of most fields mean
@@ -49,35 +42,36 @@ type Options struct {
 	// TracePath, when non-empty, replays a recorded trace file on core 0
 	// instead of the named synthetic workload (see internal/trace's file
 	// format and cmd/tracegen).
-	TracePath    string
-	Cores        int // active cores: 1, 2 or 4
-	Page         mem.PageSize
-	L2PF         PrefetcherKind
-	FixedOffset  int    // used when L2PF == PFOffset
+	TracePath string
+	Cores     int // active cores: 1, 2 or 4
+	Page      mem.PageSize
+	// L2PF selects and parameterizes the per-core L2 prefetcher by
+	// registry spec (e.g. "bo", "offset:d=4", "bo:badscore=5"). The zero
+	// spec means the baseline next-line prefetcher.
+	L2PF prefetch.Spec
+	// L1PF selects the DL1 prefetcher the same way. The zero spec means
+	// the baseline stride prefetcher; "none" disables DL1 prefetching
+	// (Figure 4's ablation).
+	L1PF         prefetch.Spec
 	L3Policy     string // "5P" (default), "LRU", "DRRIP"
-	StridePF     bool
 	LatePromote  bool
 	Instructions uint64 // retired instructions on core 0
 	Seed         uint64
-	// BOParams overrides the Best-Offset parameters (nil = Table 2).
-	BOParams *core.Params
-	// SBPParams overrides the Sandbox parameters (nil = section 6.3).
-	SBPParams *sbp.Params
-	CPU       cpu.Config
+	CPU          cpu.Config
 	// MaxCycles aborts a wedged simulation; 0 means a generous default.
 	MaxCycles uint64
 }
 
-// DefaultOptions returns a 1-core, 4KB-page, next-line-prefetcher run of
-// the named workload.
+// DefaultOptions returns a 1-core, 4KB-page run of the named workload with
+// the baseline prefetchers (next-line at L2, stride at DL1).
 func DefaultOptions(workload string) Options {
 	return Options{
 		Workload:     workload,
 		Cores:        1,
 		Page:         mem.Page4K,
-		L2PF:         PFNextLine,
+		L2PF:         prefetch.Spec{Name: "nextline"},
+		L1PF:         prefetch.Spec{Name: "stride"},
 		L3Policy:     "5P",
-		StridePF:     true,
 		LatePromote:  true,
 		Instructions: 500_000,
 		Seed:         1,
@@ -86,8 +80,10 @@ func DefaultOptions(workload string) Options {
 }
 
 // Normalized returns o with every defaulted zero value resolved to the
-// concrete baseline setting, so two spellings of the same run compare (and
-// hash) equal.
+// concrete baseline setting and both prefetcher specs in registry-canonical
+// form (default-valued parameters dropped), so two spellings of the same
+// run compare (and hash) equal. Specs that fail registry validation pass
+// through syntactically canonicalized; New reports the error.
 func (o Options) Normalized() Options {
 	if o.Instructions == 0 {
 		o.Instructions = 500_000
@@ -95,8 +91,21 @@ func (o Options) Normalized() Options {
 	if o.CPU.ROBSize == 0 {
 		o.CPU = cpu.DefaultConfig()
 	}
-	if o.L2PF == "" {
-		o.L2PF = PFNextLine
+	if o.L2PF.IsZero() {
+		o.L2PF = prefetch.Spec{Name: "nextline"}
+	}
+	if o.L1PF.IsZero() {
+		o.L1PF = prefetch.Spec{Name: "stride"}
+	}
+	if sp, err := prefetch.NormalizeL2(o.L2PF); err == nil {
+		o.L2PF = sp
+	} else {
+		o.L2PF = o.L2PF.Canonical()
+	}
+	if sp, err := prefetch.NormalizeL1(o.L1PF); err == nil {
+		o.L1PF = sp
+	} else {
+		o.L1PF = o.L1PF.Canonical()
 	}
 	if o.L3Policy == "" {
 		o.L3Policy = "5P"
@@ -118,35 +127,11 @@ type Result struct {
 	// DRAMAccessesPerKI is DRAM reads+writes per 1000 core-0 instructions
 	// (Figure 13's metric).
 	DRAMAccessesPerKI float64
-	// BO holds Best-Offset learning statistics when L2PF == PFBO.
+	// BO holds Best-Offset learning statistics when the L2 prefetcher is
+	// "bo".
 	BO *core.Stats
 	// FinalBOOffset is the offset BO ended the run with (0 otherwise).
 	FinalBOOffset int
-}
-
-// newPrefetcher builds the configured L2 prefetcher for one core.
-func (o Options) newPrefetcher() prefetch.L2Prefetcher {
-	switch o.L2PF {
-	case PFNone:
-		return prefetch.None{}
-	case PFNextLine, "":
-		return prefetch.NewNextLine(o.Page)
-	case PFOffset:
-		return prefetch.NewFixedOffset(o.Page, o.FixedOffset)
-	case PFBO:
-		p := core.DefaultParams()
-		if o.BOParams != nil {
-			p = *o.BOParams
-		}
-		return core.New(o.Page, p)
-	case PFSBP:
-		p := sbp.DefaultParams()
-		if o.SBPParams != nil {
-			p = *o.SBPParams
-		}
-		return sbp.New(o.Page, p)
-	}
-	panic(fmt.Sprintf("engine: unknown prefetcher %q", o.L2PF))
 }
 
 // Simulation is one constructed run: the assembled cores and uncore plus
@@ -167,19 +152,31 @@ func New(o Options) (*Simulation, error) {
 		return nil, fmt.Errorf("engine: %d active cores unsupported (want 1, 2 or 4)", o.Cores)
 	}
 	o = o.Normalized()
-	switch o.L2PF {
-	case PFNone, PFNextLine, PFOffset, PFBO, PFSBP:
-	default:
-		return nil, fmt.Errorf("engine: unknown prefetcher %q (want none|nextline|offset|bo|sbp)", o.L2PF)
+	// Build one prefetcher per level up front so spec errors surface here;
+	// construction is deterministic, so the per-core factories below
+	// cannot fail after this succeeds.
+	if _, err := prefetch.NewL2(o.L2PF, o.Page); err != nil {
+		return nil, fmt.Errorf("engine: %v", err)
+	}
+	if _, err := prefetch.NewL1(o.L1PF, o.Page); err != nil {
+		return nil, fmt.Errorf("engine: %v", err)
 	}
 
 	ucfg := uncore.DefaultConfig(o.Cores, o.Page)
 	ucfg.L3Policy = o.L3Policy
-	ucfg.StridePrefetcher = o.StridePF
 	ucfg.LatePromotion = o.LatePromote
 	ucfg.Seed = o.Seed
 
-	hier := uncore.New(ucfg, func(int) prefetch.L2Prefetcher { return o.newPrefetcher() }, nil)
+	hier := uncore.New(ucfg,
+		func(int) prefetch.L2Prefetcher {
+			p, _ := prefetch.NewL2(o.L2PF, o.Page)
+			return p
+		},
+		func(int) prefetch.L1Prefetcher {
+			p, _ := prefetch.NewL1(o.L1PF, o.Page)
+			return p
+		},
+		nil)
 
 	var gen trace.Generator
 	var err error

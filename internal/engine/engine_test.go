@@ -2,11 +2,13 @@ package engine_test
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
 
 	"bopsim/internal/engine"
 	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
 	"bopsim/internal/sim"
 )
 
@@ -22,7 +24,7 @@ func quick(workload string) engine.Options {
 func TestStepMatchesRun(t *testing.T) {
 	o := quick("433.milc")
 	o.Page = mem.Page4M
-	o.L2PF = engine.PFBO
+	o.L2PF = prefetch.MustSpec("bo")
 
 	want, err := sim.Run(o)
 	if err != nil {
@@ -135,30 +137,50 @@ func TestNormalized(t *testing.T) {
 	if n.Instructions != 500_000 {
 		t.Errorf("Instructions = %d", n.Instructions)
 	}
-	if n.L2PF != engine.PFNextLine || n.L3Policy != "5P" {
-		t.Errorf("prefetcher/policy defaults: %q %q", n.L2PF, n.L3Policy)
+	if n.L2PF.String() != "nextline" || n.L1PF.String() != "stride" || n.L3Policy != "5P" {
+		t.Errorf("prefetcher/policy defaults: %q %q %q", n.L2PF, n.L1PF, n.L3Policy)
 	}
 	if n.CPU.ROBSize == 0 || n.MaxCycles == 0 {
 		t.Errorf("CPU/MaxCycles defaults missing: %+v", n)
 	}
 	// Normalization is idempotent and preserves explicit settings.
-	n2 := n.Normalized()
-	n2.BOParams = n.BOParams
-	if n2 != n {
-		t.Error("Normalized not idempotent")
+	if n2 := n.Normalized(); !reflect.DeepEqual(n2, n) {
+		t.Errorf("Normalized not idempotent:\n%+v\n%+v", n2, n)
+	}
+	// Specs spelling out registered defaults normalize to the bare name.
+	sp := engine.Options{Workload: "429.mcf", Cores: 1,
+		L2PF: prefetch.MustSpec("bo:scoremax=31,badscore=5")}.Normalized()
+	if sp.L2PF.String() != "bo:badscore=5" {
+		t.Errorf("normalized spec = %q, want bo:badscore=5", sp.L2PF)
 	}
 }
 
-// TestInvalidCoreCount mirrors the historical sim.Run validation.
-func TestInvalidCoreCount(t *testing.T) {
+// TestInvalidOptionsRejected mirrors the historical sim.Run validation and
+// extends it to registry errors.
+func TestInvalidOptionsRejected(t *testing.T) {
 	o := quick("416.gamess")
 	o.Cores = 5
 	if _, err := engine.New(o); err == nil {
 		t.Error("5 cores accepted")
 	}
 	o = quick("416.gamess")
-	o.L2PF = "garbage"
+	o.L2PF = prefetch.Spec{Name: "garbage"}
 	if _, err := engine.New(o); err == nil {
 		t.Error("unknown prefetcher accepted")
+	}
+	o = quick("416.gamess")
+	o.L2PF = prefetch.MustSpec("bo:nosuchparam=1")
+	if _, err := engine.New(o); err == nil {
+		t.Error("unknown prefetcher parameter accepted")
+	}
+	o = quick("416.gamess")
+	o.L2PF = prefetch.MustSpec("offset:d=zero")
+	if _, err := engine.New(o); err == nil {
+		t.Error("malformed parameter value accepted")
+	}
+	o = quick("416.gamess")
+	o.L1PF = prefetch.Spec{Name: "bo"} // an L2-only name in the L1 slot
+	if _, err := engine.New(o); err == nil {
+		t.Error("L2-only prefetcher accepted in the L1 slot")
 	}
 }

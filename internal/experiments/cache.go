@@ -5,30 +5,48 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 
 	"bopsim/internal/sim"
 )
 
 // resultCacheVersion is bumped whenever the simulator's behaviour or the
 // Options/Result schema changes in a way that invalidates stored results.
-const resultCacheVersion = 1
+//
+// v2: Options moved from the closed PrefetcherKind enum (+ FixedOffset/
+// BOParams/SBPParams/StridePF escape hatches) to prefetch.Spec fields, and
+// TracePath is keyed by trace *content* rather than path. MigrateCache
+// rewrites v1 entries in place.
+const resultCacheVersion = 2
 
 // OptionsHash returns the canonical cache key of one simulation run: a
 // SHA-256 over the JSON encoding of the *normalized* options plus the cache
 // schema version. Every option that can change the outcome participates
-// (including Seed, TracePath, SBPParams, MaxCycles and the CPU config),
-// and equivalent spellings of the same run — zero values versus explicit
-// defaults — hash identically because normalization resolves them first.
+// (including Seed, the prefetcher specs, MaxCycles and the CPU config), and
+// equivalent spellings of the same run — zero values versus explicit
+// defaults, specs with spelled-out default parameters — hash identically
+// because normalization resolves them first.
 //
-// TracePath is keyed by path, not content; retraced files need a fresh
-// cache directory.
+// Trace replays are keyed by the SHA-256 of the trace file's content, not
+// its path: editing a trace invalidates its cached results, and moving or
+// copying one preserves them. An unreadable trace falls back to path
+// keying (the simulation will fail with the real error anyway).
 func OptionsHash(o sim.Options) string {
 	keyed := struct {
-		Version int
-		Options sim.Options
-	}{resultCacheVersion, o.Normalized()}
+		Version  int
+		Options  sim.Options
+		TraceSHA string `json:",omitempty"`
+	}{Version: resultCacheVersion, Options: o.Normalized()}
+	if o.TracePath != "" {
+		if h := traceContentHash(o.TracePath); h != "" {
+			keyed.TraceSHA = h
+			keyed.Options.TracePath = ""
+		}
+	}
 	b, err := json.Marshal(keyed)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: options not hashable: %v", err))
@@ -40,6 +58,44 @@ func OptionsHash(o sim.Options) string {
 // optionsKey is the Runner's cache key. It is the full-options hash, so
 // runs differing in any outcome-affecting field never alias.
 func optionsKey(o sim.Options) string { return OptionsHash(o) }
+
+// traceHashEntry memoizes one trace file's content hash, invalidated when
+// size or mtime changes — a sweep hashes each trace once, not once per
+// scheduled job.
+type traceHashEntry struct {
+	size  int64
+	mtime int64
+	hash  string
+}
+
+var traceHashes sync.Map // path -> traceHashEntry
+
+// traceContentHash returns the hex SHA-256 of the file's content, or ""
+// when the file cannot be read.
+func traceContentHash(path string) string {
+	st, err := os.Stat(path)
+	if err != nil {
+		return ""
+	}
+	if e, ok := traceHashes.Load(path); ok {
+		ent := e.(traceHashEntry)
+		if ent.size == st.Size() && ent.mtime == st.ModTime().UnixNano() {
+			return ent.hash
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return ""
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	traceHashes.Store(path, traceHashEntry{size: st.Size(), mtime: st.ModTime().UnixNano(), hash: sum})
+	return sum
+}
 
 // cacheEntry is the on-disk record format: one JSON file per completed
 // simulation, named <OptionsHash>.json, self-describing via the stored
@@ -86,4 +142,50 @@ func (c diskCache) store(key string, o sim.Options, res sim.Result) error {
 		return err
 	}
 	return os.Rename(tmp, c.path(key))
+}
+
+// EvictCache is the size-bounded eviction pass: when the cache directory's
+// .json entries exceed maxBytes, the oldest entries (by modification time,
+// i.e. least recently written) are deleted until the total fits. It returns
+// how many entries were removed and how many bytes were freed. A maxBytes
+// <= 0 budget disables eviction.
+func EvictCache(dir string, maxBytes int64) (removed int, freed int64, err error) {
+	if maxBytes <= 0 {
+		return 0, 0, nil
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return 0, 0, err
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var entries []entry
+	var total int64
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			continue // raced with another process; skip
+		}
+		entries = append(entries, entry{path: f, size: st.Size(), mtime: st.ModTime().UnixNano()})
+		total += st.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime < entries[j].mtime })
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return removed, freed, err
+		}
+		total -= e.size
+		removed++
+		freed += e.size
+	}
+	return removed, freed, nil
 }

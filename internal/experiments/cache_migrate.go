@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"bopsim/internal/core"
+	"bopsim/internal/cpu"
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+	"bopsim/internal/sbp"
+	"bopsim/internal/sim"
+)
+
+// This file migrates version-1 result-cache entries — written when Options
+// still carried the closed PrefetcherKind enum and its per-kind escape
+// hatches (FixedOffset, BOParams, SBPParams, StridePF) — to the version-2
+// spec-based schema. Simulator behaviour did not change between the
+// schemas, only the configuration encoding, so the stored measurements stay
+// valid; the entries just need their options translated and their files
+// rekeyed under the new OptionsHash.
+
+// legacyOptionsV1 mirrors the v1 sim.Options JSON encoding.
+type legacyOptionsV1 struct {
+	Workload     string
+	TracePath    string
+	Cores        int
+	Page         mem.PageSize
+	L2PF         string
+	FixedOffset  int
+	L3Policy     string
+	StridePF     bool
+	LatePromote  bool
+	Instructions uint64
+	Seed         uint64
+	BOParams     *core.Params
+	SBPParams    *sbp.Params
+	CPU          cpu.Config
+	MaxCycles    uint64
+}
+
+// MigrateCache rewrites every version-1 entry under dir to the current
+// schema and key, removing the old file. Entries already at the current
+// version are untouched; unreadable or unmappable entries are dropped (the
+// affected runs simply re-execute). It returns how many entries were
+// migrated and how many dropped.
+func MigrateCache(dir string) (migrated, dropped int, err error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return 0, 0, err
+	}
+	dc := diskCache{dir}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			continue
+		}
+		var probe struct {
+			Version int `json:"version"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil || probe.Version == resultCacheVersion {
+			continue
+		}
+		if probe.Version != 1 {
+			continue // unknown schema: leave it alone
+		}
+		var legacy struct {
+			Options legacyOptionsV1 `json:"options"`
+			Result  sim.Result      `json:"result"`
+		}
+		drop := func() {
+			os.Remove(f)
+			dropped++
+		}
+		if err := json.Unmarshal(b, &legacy); err != nil {
+			drop()
+			continue
+		}
+		opts, err := migrateOptionsV1(legacy.Options)
+		if err != nil {
+			drop()
+			continue
+		}
+		if err := dc.store(OptionsHash(opts), opts, legacy.Result); err != nil {
+			return migrated, dropped, err
+		}
+		os.Remove(f)
+		migrated++
+	}
+	return migrated, dropped, nil
+}
+
+// migrateOptionsV1 translates the enum-era options into spec form.
+func migrateOptionsV1(l legacyOptionsV1) (sim.Options, error) {
+	o := sim.Options{
+		Workload:     l.Workload,
+		TracePath:    l.TracePath,
+		Cores:        l.Cores,
+		Page:         l.Page,
+		L3Policy:     l.L3Policy,
+		LatePromote:  l.LatePromote,
+		Instructions: l.Instructions,
+		Seed:         l.Seed,
+		CPU:          l.CPU,
+		MaxCycles:    l.MaxCycles,
+	}
+	if l.StridePF {
+		o.L1PF = prefetch.Spec{Name: "stride"}
+	} else {
+		o.L1PF = prefetch.Spec{Name: "none"}
+	}
+	switch l.L2PF {
+	case "none", "nextline":
+		o.L2PF = prefetch.Spec{Name: l.L2PF}
+	case "offset":
+		o.L2PF = sim.PFOffsetD(l.FixedOffset)
+	case "bo":
+		o.L2PF = boSpecFromParams(l.BOParams)
+	case "sbp":
+		o.L2PF = sbpSpecFromParams(l.SBPParams)
+	default:
+		return sim.Options{}, fmt.Errorf("unknown v1 prefetcher kind %q", l.L2PF)
+	}
+	if _, err := prefetch.NormalizeL2(o.L2PF); err != nil {
+		return sim.Options{}, err
+	}
+	return o, nil
+}
+
+// boSpecFromParams renders a v1 core.Params override as a "bo" spec,
+// emitting only the parameters that differ from the registered defaults.
+func boSpecFromParams(p *core.Params) prefetch.Spec {
+	spec := prefetch.Spec{Name: "bo"}
+	if p == nil {
+		return spec
+	}
+	def := core.DefaultParams()
+	set := func(key, value string) { spec = spec.With(key, value) }
+	if p.RREntries != def.RREntries {
+		set("rr", fmt.Sprint(p.RREntries))
+	}
+	if p.RRTagBits != def.RRTagBits {
+		set("tagbits", fmt.Sprint(p.RRTagBits))
+	}
+	if p.ScoreMax != def.ScoreMax {
+		set("scoremax", fmt.Sprint(p.ScoreMax))
+	}
+	if p.RoundMax != def.RoundMax {
+		set("roundmax", fmt.Sprint(p.RoundMax))
+	}
+	if p.BadScore != def.BadScore {
+		set("badscore", fmt.Sprint(p.BadScore))
+	}
+	if !slices.Equal(p.Offsets, def.Offsets) {
+		set("offsets", prefetch.FormatInts(p.Offsets))
+	}
+	if p.Degree != 0 && p.Degree != 1 {
+		set("degree", fmt.Sprint(p.Degree))
+	}
+	if p.InsertRRAtIssue {
+		set("rratissue", "true")
+	}
+	if p.TriggerOnAllAccesses {
+		set("allaccess", "true")
+	}
+	if p.AdaptiveThrottle {
+		set("adaptive", "true")
+		if p.MinBadScore != 0 {
+			set("minbad", fmt.Sprint(p.MinBadScore))
+		}
+		if p.MaxBadScore != 4 {
+			set("maxbad", fmt.Sprint(p.MaxBadScore))
+		}
+	}
+	return spec
+}
+
+// sbpSpecFromParams renders a v1 sbp.Params override as an "sbp" spec.
+func sbpSpecFromParams(p *sbp.Params) prefetch.Spec {
+	spec := prefetch.Spec{Name: "sbp"}
+	if p == nil {
+		return spec
+	}
+	def := sbp.DefaultParams()
+	set := func(key, value string) { spec = spec.With(key, value) }
+	if p.Period != def.Period {
+		set("period", fmt.Sprint(p.Period))
+	}
+	if p.BloomBits != def.BloomBits {
+		set("bits", fmt.Sprint(p.BloomBits))
+	}
+	if p.BloomHash != def.BloomHash {
+		set("hashes", fmt.Sprint(p.BloomHash))
+	}
+	if p.MaxIssue != def.MaxIssue {
+		set("maxissue", fmt.Sprint(p.MaxIssue))
+	}
+	if p.Cutoff1 != def.Cutoff1 {
+		set("cutoff1", fmt.Sprint(p.Cutoff1))
+	}
+	if p.Cutoff2 != def.Cutoff2 {
+		set("cutoff2", fmt.Sprint(p.Cutoff2))
+	}
+	if p.Cutoff3 != def.Cutoff3 {
+		set("cutoff3", fmt.Sprint(p.Cutoff3))
+	}
+	if !slices.Equal(p.Offsets, def.Offsets) {
+		set("offsets", prefetch.FormatInts(p.Offsets))
+	}
+	return spec
+}

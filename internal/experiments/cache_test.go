@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bopsim/internal/core"
+	"bopsim/internal/mem"
+	"bopsim/internal/sim"
+)
+
+// writeV1Entry stores a version-1 (enum-era) cache entry under dir with a
+// made-up key, returning the stored result.
+func writeV1Entry(t *testing.T, dir, key string, opts map[string]any, ipc float64) sim.Result {
+	t.Helper()
+	res := sim.Result{Workload: opts["Workload"].(string), IPC: ipc, Cycles: 1000, Instructions: 500}
+	entry := map[string]any{"version": 1, "options": opts, "result": res}
+	b, err := json.MarshalIndent(entry, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// v1Options renders the enum-era options JSON for one run.
+func v1Options(workload, l2pf string, extra map[string]any) map[string]any {
+	o := map[string]any{
+		"Workload": workload, "TracePath": "", "Cores": 1,
+		"Page": int64(mem.Page4K), "L2PF": l2pf, "FixedOffset": 0,
+		"L3Policy": "5P", "StridePF": true, "LatePromote": true,
+		"Instructions": 40_000, "Seed": 1, "MaxCycles": 0,
+	}
+	for k, v := range extra {
+		o[k] = v
+	}
+	return o
+}
+
+func TestMigrateCacheRekeysV1Entries(t *testing.T) {
+	dir := t.TempDir()
+	wantBO := writeV1Entry(t, dir, "000bo", v1Options("433.milc", "bo", nil), 1.5)
+	p := core.DefaultParams()
+	p.BadScore = 5
+	wantSweep := writeV1Entry(t, dir, "000bosweep", v1Options("433.milc", "bo", map[string]any{"BOParams": p}), 1.25)
+	wantOff := writeV1Entry(t, dir, "000off", v1Options("470.lbm", "offset", map[string]any{"FixedOffset": 4, "StridePF": false}), 0.75)
+
+	migrated, dropped, err := MigrateCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated != 3 || dropped != 0 {
+		t.Fatalf("migrated %d, dropped %d; want 3, 0", migrated, dropped)
+	}
+
+	// The rewritten entries answer under the *new* spec-based keys.
+	check := func(mutate func(*sim.Options), want sim.Result) {
+		t.Helper()
+		o := sim.DefaultOptions("433.milc")
+		o.Instructions = 40_000
+		mutate(&o)
+		res, ok := diskCache{dir}.load(OptionsHash(o))
+		if !ok {
+			t.Errorf("no migrated entry for %s", describeOptions(o))
+			return
+		}
+		if res.IPC != want.IPC {
+			t.Errorf("migrated IPC = %v, want %v", res.IPC, want.IPC)
+		}
+	}
+	check(func(o *sim.Options) { o.L2PF = sim.PFBO }, wantBO)
+	check(func(o *sim.Options) { o.L2PF = sim.PFBO.With("badscore", "5") }, wantSweep)
+	check(func(o *sim.Options) {
+		o.Workload = "470.lbm"
+		o.L2PF = sim.PFOffsetD(4)
+		o.L1PF = sim.PFNone // v1 StridePF=false
+	}, wantOff)
+
+	// Old-key files are gone; nothing is left at version 1.
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 3 {
+		t.Errorf("%d files after migration, want 3", len(files))
+	}
+	again, _, err := MigrateCache(dir)
+	if err != nil || again != 0 {
+		t.Errorf("second migration touched %d entries (err %v), want 0", again, err)
+	}
+}
+
+func TestMigrateCacheDropsUnmappableEntries(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Entry(t, dir, "000weird", v1Options("433.milc", "quantum-oracle", nil), 2.0)
+	migrated, dropped, err := MigrateCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated != 0 || dropped != 1 {
+		t.Errorf("migrated %d, dropped %d; want 0, 1", migrated, dropped)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 0 {
+		t.Errorf("unmappable entry left on disk: %v", files)
+	}
+}
+
+func TestEvictCacheRemovesOldestPastBudget(t *testing.T) {
+	dir := t.TempDir()
+	// Three entries of ~1KB each, with distinct mtimes, oldest first.
+	payload := make([]byte, 1024)
+	for i, name := range []string{"old", "mid", "new"} {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mtime := time.Now().Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(path, mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, freed, err := EvictCache(dir, 2*1024+512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || freed != 1024 {
+		t.Errorf("removed %d entries / %d bytes, want 1 / 1024", removed, freed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "old.json")); !os.IsNotExist(err) {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, name := range []string{"mid", "new"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".json")); err != nil {
+			t.Errorf("%s entry evicted, should have been kept", name)
+		}
+	}
+	// Zero budget disables eviction entirely.
+	if removed, _, err := EvictCache(dir, 0); err != nil || removed != 0 {
+		t.Errorf("disabled eviction removed %d (err %v)", removed, err)
+	}
+}

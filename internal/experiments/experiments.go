@@ -22,6 +22,7 @@ import (
 
 	"bopsim/internal/core"
 	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
 	"bopsim/internal/sim"
 	"bopsim/internal/stats"
 	"bopsim/internal/trace"
@@ -206,7 +207,7 @@ func (r *Runner) Fig3() []*stats.Table {
 // Fig4 reports the impact of disabling the DL1 stride prefetcher.
 func (r *Runner) Fig4() *stats.Table {
 	return r.speedupTable("Figure 4: DL1 stride prefetcher disabled (vs baseline)",
-		func(o sim.Options) sim.Options { o.StridePF = false; return o })
+		func(o sim.Options) sim.Options { o.L1PF = prefetch.Spec{Name: "none"}; return o })
 }
 
 // Fig5 reports the impact of disabling the L2 next-line prefetcher.
@@ -247,8 +248,7 @@ func (r *Runner) Fig7() *stats.Table {
 		for d := 2; d <= 7; d++ {
 			d := d
 			addRow(fmt.Sprintf("D=%d", d), func(o sim.Options) sim.Options {
-				o.L2PF = sim.PFOffset
-				o.FixedOffset = d
+				o.L2PF = sim.PFOffsetD(d)
 				return o
 			})
 		}
@@ -296,8 +296,7 @@ func (r *Runner) Fig8(offsets []int) *stats.Table {
 			for i, wl := range benchmarks {
 				base := run(r.options(wl, cc))
 				o := r.options(wl, cc)
-				o.L2PF = sim.PFOffset
-				o.FixedOffset = d
+				o.L2PF = sim.PFOffsetD(d)
 				row[i] = stats.Speedup(base.IPC, run(o).IPC)
 			}
 			tb.AddRow(fmt.Sprintf("D=%d", d), row...)
@@ -309,20 +308,18 @@ func (r *Runner) Fig8(offsets []int) *stats.Table {
 // Fig9 sweeps the BADSCORE throttling threshold (GM speedups).
 func (r *Runner) Fig9() *stats.Table {
 	return r.boParamSweep("Figure 9: impact of BADSCORE (GM speedup vs next-line)",
-		[]int{0, 1, 2, 5, 10},
-		func(p *core.Params, v int) { p.BadScore = v },
-		"BADSCORE=%d")
+		[]int{0, 1, 2, 5, 10}, "badscore", "BADSCORE=%d")
 }
 
 // Fig10 sweeps the RR table size (GM speedups).
 func (r *Runner) Fig10() *stats.Table {
 	return r.boParamSweep("Figure 10: impact of RR table size (GM speedup vs next-line)",
-		[]int{32, 64, 128, 256, 512},
-		func(p *core.Params, v int) { p.RREntries = v },
-		"RR=%d")
+		[]int{32, 64, 128, 256, 512}, "rr", "RR=%d")
 }
 
-func (r *Runner) boParamSweep(title string, values []int, apply func(*core.Params, int), labelFmt string) *stats.Table {
+// boParamSweep sweeps one registered "bo" spec parameter across values —
+// the parameter sweeps of Figures 9 and 10 are just spec variants now.
+func (r *Runner) boParamSweep(title string, values []int, param string, labelFmt string) *stats.Table {
 	return r.materialize(func(run runFunc) *stats.Table {
 		cols := make([]string, len(r.Configs))
 		for i, cc := range r.Configs {
@@ -336,10 +333,7 @@ func (r *Runner) boParamSweep(title string, values []int, apply func(*core.Param
 				for _, wl := range r.Benchmarks {
 					base := run(r.options(wl, cc))
 					o := r.options(wl, cc)
-					o.L2PF = sim.PFBO
-					p := core.DefaultParams()
-					apply(&p, v)
-					o.BOParams = &p
+					o.L2PF = sim.PFBO.With(param, fmt.Sprint(v))
 					ratios = append(ratios, stats.Speedup(base.IPC, run(o).IPC))
 				}
 				row[i] = stats.GeoMean(ratios)
@@ -358,20 +352,20 @@ func (r *Runner) Fig11() *stats.Table {
 			cols[i] = cc.Label()
 		}
 		tb := stats.NewTable("Figure 11: BO vs SBP (GM speedup vs next-line baseline)", cols...)
-		for _, kind := range []sim.PrefetcherKind{sim.PFBO, sim.PFSBP} {
-			kind := kind
+		for _, spec := range []prefetch.Spec{sim.PFBO, sim.PFSBP} {
+			spec := spec
 			row := make([]float64, len(r.Configs))
 			for i, cc := range r.Configs {
 				ratios := make([]float64, 0, len(r.Benchmarks))
 				for _, wl := range r.Benchmarks {
 					base := run(r.options(wl, cc))
 					o := r.options(wl, cc)
-					o.L2PF = kind
+					o.L2PF = spec
 					ratios = append(ratios, stats.Speedup(base.IPC, run(o).IPC))
 				}
 				row[i] = stats.GeoMean(ratios)
 			}
-			tb.AddRow(string(kind), row...)
+			tb.AddRow(spec.String(), row...)
 		}
 		return tb
 	})
@@ -406,10 +400,10 @@ func (r *Runner) Fig12() *stats.Table {
 func (r *Runner) Fig13() *stats.Table {
 	return r.materialize(func(run runFunc) *stats.Table {
 		cc := CoreConfig{Cores: 1, Page: mem.Page4K}
-		kinds := []sim.PrefetcherKind{sim.PFNone, sim.PFNextLine, sim.PFBO, sim.PFSBP}
-		cols := make([]string, len(kinds))
-		for i, k := range kinds {
-			cols[i] = string(k)
+		specs := []prefetch.Spec{sim.PFNone, sim.PFNextLine, sim.PFBO, sim.PFSBP}
+		cols := make([]string, len(specs))
+		for i, s := range specs {
+			cols[i] = s.String()
 		}
 		tb := stats.NewTable("Figure 13: DRAM accesses per 1000 instructions (4KB, 1 core)", cols...)
 		type entry struct {
@@ -418,10 +412,10 @@ func (r *Runner) Fig13() *stats.Table {
 		}
 		var entries []entry
 		for _, wl := range r.Benchmarks {
-			row := make([]float64, len(kinds))
-			for i, k := range kinds {
+			row := make([]float64, len(specs))
+			for i, s := range specs {
 				o := r.options(wl, cc)
-				o.L2PF = k
+				o.L2PF = s
 				row[i] = run(o).DRAMAccessesPerKI
 			}
 			// The paper omits benchmarks that access DRAM infrequently.
@@ -432,6 +426,38 @@ func (r *Runner) Fig13() *stats.Table {
 		sort.Slice(entries, func(i, j int) bool { return entries[i].wl < entries[j].wl })
 		for _, e := range entries {
 			tb.AddRow(e.wl, e.row...)
+		}
+		return tb
+	})
+}
+
+// Zoo is the registry-driven ablation sweep: one row per *registered* L2
+// prefetcher (default parameters), GM speedup over the next-line baseline
+// across the configured CoreConfigs. Because the row set comes from
+// prefetch.L2Names, a prefetcher added by registration alone — e.g.
+// internal/multi — shows up here, scheduled and cached like every paper
+// figure, with no engine or scheduler change.
+func (r *Runner) Zoo() *stats.Table {
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(r.Configs))
+		for i, cc := range r.Configs {
+			cols[i] = cc.Label()
+		}
+		tb := stats.NewTable("Prefetcher zoo: registered L2 prefetchers (GM speedup vs next-line)", cols...)
+		for _, name := range prefetch.L2Names() {
+			spec := prefetch.Spec{Name: name}
+			row := make([]float64, len(r.Configs))
+			for i, cc := range r.Configs {
+				ratios := make([]float64, 0, len(r.Benchmarks))
+				for _, wl := range r.Benchmarks {
+					base := run(r.options(wl, cc))
+					o := r.options(wl, cc)
+					o.L2PF = spec
+					ratios = append(ratios, stats.Speedup(base.IPC, run(o).IPC))
+				}
+				row[i] = stats.GeoMean(ratios)
+			}
+			tb.AddRow(name, row...)
 		}
 		return tb
 	})

@@ -87,6 +87,36 @@ func TestRunCacheReuse(t *testing.T) {
 	}
 }
 
+// TestZooCoversRegistry checks the registry-driven sweep has one row per
+// registered L2 prefetcher — including "multi", which exists only via
+// registration — and that the baseline rows are exactly 1.0.
+func TestZooCoversRegistry(t *testing.T) {
+	r := tinyRunner()
+	tb := r.Zoo()
+	rows := map[string]bool{}
+	for _, row := range tb.Rows() {
+		rows[row] = true
+	}
+	for _, want := range []string{"none", "nextline", "offset", "bo", "sbp", "multi"} {
+		if !rows[want] {
+			t.Errorf("zoo table missing registered prefetcher %q (rows %v)", want, tb.Rows())
+		}
+	}
+	if v, ok := tb.Value("nextline", 0); !ok || v != 1.0 {
+		t.Errorf("nextline speedup vs itself = %v, want exactly 1", v)
+	}
+	if v, ok := tb.Value("multi", 0); !ok || v <= 0 {
+		t.Errorf("multi speedup = %v (ok=%v)", v, ok)
+	}
+	// The sweep schedules through the same cache as the figures: repeating
+	// it must execute nothing new.
+	executed := r.Executed()
+	r.Zoo()
+	if r.Executed() != executed {
+		t.Error("repeated Zoo re-executed cached simulations")
+	}
+}
+
 func TestFig8OffsetsSampled(t *testing.T) {
 	offs := Fig8Offsets()
 	if offs[0] != 2 || offs[len(offs)-1] != 256 {

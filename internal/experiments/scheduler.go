@@ -181,16 +181,11 @@ func (r *Runner) logf(format string, args ...any) {
 }
 
 // describeOptions renders the human-readable run description used in log
-// lines (the cache key itself is an opaque hash).
+// lines (the cache key itself is an opaque hash). Specs are
+// self-describing, so their canonical strings carry every parameter that
+// the old enum-era description had to special-case.
 func describeOptions(o sim.Options) string {
 	o = o.Normalized()
-	d := fmt.Sprintf("%s|%d-core/%s|%s", o.Workload, o.Cores, o.Page, o.L2PF)
-	if o.L2PF == sim.PFOffset {
-		d += fmt.Sprintf("(D=%d)", o.FixedOffset)
-	}
-	if o.BOParams != nil {
-		d += fmt.Sprintf("|rr%d,bad%d", o.BOParams.RREntries, o.BOParams.BadScore)
-	}
-	d += fmt.Sprintf("|%s|stride=%v|n=%d|seed=%d", o.L3Policy, o.StridePF, o.Instructions, o.Seed)
-	return d
+	return fmt.Sprintf("%s|%d-core/%s|%s|%s|l1=%s|n=%d|seed=%d",
+		o.Workload, o.Cores, o.Page, o.L2PF, o.L3Policy, o.L1PF, o.Instructions, o.Seed)
 }

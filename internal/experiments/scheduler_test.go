@@ -7,8 +7,9 @@ import (
 	"testing"
 
 	"bopsim/internal/mem"
-	"bopsim/internal/sbp"
+	"bopsim/internal/prefetch"
 	"bopsim/internal/sim"
+	"bopsim/internal/trace"
 )
 
 // TestParallelMatchesSerial is the scheduler's core guarantee: the rendered
@@ -147,19 +148,21 @@ func TestDiskCacheIgnoresCorruptEntries(t *testing.T) {
 }
 
 // TestOptionsKeyComplete checks every outcome-affecting option participates
-// in the cache key — the historical key omitted Seed, TracePath, SBPParams
-// and MaxCycles, aliasing distinct runs to one cached result.
+// in the cache key — the historical key omitted Seed, TracePath, SBP
+// parameters and MaxCycles, aliasing distinct runs to one cached result.
 func TestOptionsKeyComplete(t *testing.T) {
 	base := sim.DefaultOptions("433.milc")
 	mutations := map[string]func(*sim.Options){
 		"Seed":         func(o *sim.Options) { o.Seed = 99 },
-		"TracePath":    func(o *sim.Options) { o.TracePath = "some.trace" },
 		"MaxCycles":    func(o *sim.Options) { o.MaxCycles = 123_456 },
-		"SBPParams":    func(o *sim.Options) { p := sbp.DefaultParams(); p.Period = 128; o.SBPParams = &p },
+		"L2PF name":    func(o *sim.Options) { o.L2PF = sim.PFSBP },
+		"L2PF params":  func(o *sim.Options) { o.L2PF = sim.PFSBP.With("period", "128") },
+		"L1PF":         func(o *sim.Options) { o.L1PF = prefetch.Spec{Name: "none"} },
+		"L1PF params":  func(o *sim.Options) { o.L1PF = prefetch.MustSpec("stride:dist=8") },
 		"Instructions": func(o *sim.Options) { o.Instructions = 1 },
 		"Workload":     func(o *sim.Options) { o.Workload = "470.lbm" },
 		"CPU":          func(o *sim.Options) { o.CPU.ROBSize = 128 },
-		"FixedOffset":  func(o *sim.Options) { o.FixedOffset = 3 },
+		"Offset d":     func(o *sim.Options) { o.L2PF = sim.PFOffsetD(3) },
 	}
 	baseKey := optionsKey(base)
 	for field, mutate := range mutations {
@@ -170,11 +173,73 @@ func TestOptionsKeyComplete(t *testing.T) {
 		}
 	}
 	// Equivalent spellings alias deliberately: zero values hash like their
-	// resolved defaults.
+	// resolved defaults, and specs spelling out a registered default
+	// parameter hash like the bare name.
 	implicit := base
 	implicit.L3Policy = ""
 	implicit.MaxCycles = 0
+	implicit.L2PF = prefetch.Spec{}
 	if optionsKey(implicit) != baseKey {
 		t.Error("normalized-equal options hash differently")
+	}
+	spelled := base
+	spelled.L2PF = prefetch.MustSpec("nextline")
+	spelled.L1PF = prefetch.MustSpec("stride:dist=16")
+	if optionsKey(spelled) != baseKey {
+		t.Error("spec with spelled-out default parameter hashes differently")
+	}
+	bo1 := base
+	bo1.L2PF = prefetch.MustSpec("bo:scoremax=31,badscore=5")
+	bo2 := base
+	bo2.L2PF = sim.PFBO.With("badscore", "5")
+	if optionsKey(bo1) != optionsKey(bo2) {
+		t.Error("equivalent bo specs hash differently")
+	}
+}
+
+// TestTraceContentKeysCache checks trace replays are keyed by file content:
+// rewriting the trace changes the key, and a byte-identical copy at a
+// different path shares it.
+func TestTraceContentKeysCache(t *testing.T) {
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.trace")
+	gen, err := trace.NewWorkload("456.hmmer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteTraceFile(pathA, gen, 2000); err != nil {
+		t.Fatal(err)
+	}
+	o := sim.DefaultOptions("456.hmmer")
+	o.TracePath = pathA
+	keyA := optionsKey(o)
+
+	// A byte-identical copy under another name is the same run.
+	pathB := filepath.Join(dir, "b.trace")
+	b, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pathB, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oB := o
+	oB.TracePath = pathB
+	if optionsKey(oB) != keyA {
+		t.Error("identical trace content at a different path changed the key")
+	}
+
+	// Rewriting the trace with different content must change the key. (A
+	// different length also changes the file size, so the mtime-based hash
+	// memo can never serve the stale hash even on coarse-mtime filesystems.)
+	gen2, err := trace.NewWorkload("456.hmmer", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteTraceFile(pathA, gen2, 2500); err != nil {
+		t.Fatal(err)
+	}
+	if optionsKey(o) == keyA {
+		t.Error("editing the trace file did not change the cache key")
 	}
 }

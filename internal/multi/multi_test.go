@@ -1,0 +1,118 @@
+package multi
+
+import (
+	"testing"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+)
+
+func eligible(line mem.LineAddr) prefetch.AccessInfo {
+	return prefetch.AccessInfo{Line: line} // a miss: Hit=false
+}
+
+func TestIssuesAllEnabledOffsets(t *testing.T) {
+	p := New(mem.Page4M, Params{Offsets: []int{1, 4, 16}, Period: 1 << 20, MinScore: 1, MaxIssue: 8, Recent: 64})
+	got := p.OnAccess(eligible(1000))
+	want := []mem.LineAddr{1001, 1004, 1016}
+	if len(got) != len(want) {
+		t.Fatalf("issued %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("target[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRespectsPageBoundaryAndIssueCap(t *testing.T) {
+	p := New(mem.Page4K, Params{Offsets: []int{1, 2, 4, 8, 16, 32}, Period: 1 << 20, MinScore: 1, MaxIssue: 3, Recent: 64})
+	// 64 lines per 4KB page; from line 62 only +1 stays in the page.
+	got := p.OnAccess(eligible(62))
+	if len(got) != 1 || got[0] != 63 {
+		t.Errorf("near page end issued %v, want [63]", got)
+	}
+	// In the page interior the cap limits the fan-out.
+	got = p.OnAccess(eligible(4096))
+	if len(got) != 3 {
+		t.Errorf("cap: issued %d targets, want 3", len(got))
+	}
+}
+
+func TestIneligibleAccessesIgnored(t *testing.T) {
+	p := New(mem.Page4K, DefaultParams())
+	if got := p.OnAccess(prefetch.AccessInfo{Line: 100, Hit: true}); got != nil {
+		t.Errorf("plain hit triggered prefetches: %v", got)
+	}
+	if got := p.OnAccess(prefetch.AccessInfo{Line: 100, Hit: true, PrefetchedHit: true}); got == nil {
+		t.Error("prefetched hit did not trigger")
+	}
+}
+
+func TestWindowDisablesUselessOffsets(t *testing.T) {
+	// A pure stride-4 stream: offset 4 is covered on every access, while 1
+	// and 30 (not multiples of the stride) never land on an accessed line.
+	// After one window only offset 4 survives.
+	p := New(mem.Page4M, Params{Offsets: []int{1, 4, 30}, Period: 64, MinScore: 32, MaxIssue: 8, Recent: 128})
+	line := mem.LineAddr(1 << 20)
+	for i := 0; i < 64; i++ {
+		p.OnAccess(eligible(line))
+		line += 4
+	}
+	if p.Stats().Windows != 1 {
+		t.Fatalf("windows = %d, want 1", p.Stats().Windows)
+	}
+	en := p.EnabledOffsets()
+	if len(en) != 1 || en[0] != 4 {
+		t.Errorf("enabled offsets after a stride-4 window: %v, want [4]", en)
+	}
+	// A later access issues only the surviving offset.
+	got := p.OnAccess(eligible(line))
+	if len(got) != 1 || got[0] != line+4 {
+		t.Errorf("post-window issue = %v, want [%d]", got, line+4)
+	}
+}
+
+func TestOffsetsReenableWhenPatternReturns(t *testing.T) {
+	p := New(mem.Page4M, Params{Offsets: []int{1, 4}, Period: 64, MinScore: 32, MaxIssue: 8, Recent: 128})
+	// Window 1: random-ish far apart accesses disable everything.
+	line := mem.LineAddr(1 << 24)
+	for i := 0; i < 64; i++ {
+		p.OnAccess(eligible(line))
+		line += 9973
+	}
+	if en := p.EnabledOffsets(); len(en) != 0 {
+		t.Fatalf("enabled after noise window: %v, want none", en)
+	}
+	// Window 2: a stride-4 stream re-earns offset 4 (scoring continues
+	// while disabled).
+	line = 1 << 25
+	for i := 0; i < 64; i++ {
+		p.OnAccess(eligible(line))
+		line += 4
+	}
+	en := p.EnabledOffsets()
+	if len(en) != 1 || en[0] != 4 {
+		t.Errorf("enabled after stride-4 window: %v, want [4]", en)
+	}
+}
+
+func TestRegisteredSpec(t *testing.T) {
+	p, err := prefetch.NewL2(prefetch.MustSpec("multi:offsets=2+6,period=32,minscore=4"), mem.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, ok := p.(*Prefetcher)
+	if !ok {
+		t.Fatalf("built %T", p)
+	}
+	if en := mp.EnabledOffsets(); len(en) != 2 || en[0] != 2 || en[1] != 6 {
+		t.Errorf("configured offsets = %v", en)
+	}
+	if !mp.PreIssueTagCheck() {
+		t.Error("multi should request the pre-issue tag check")
+	}
+	if _, err := prefetch.NewL2(prefetch.MustSpec("multi:offsets=0"), mem.Page4K); err == nil {
+		t.Error("offset 0 accepted")
+	}
+}

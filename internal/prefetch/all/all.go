@@ -1,0 +1,16 @@
+// Package all links every prefetcher implementation into the registry, the
+// way database/sql drivers and image codecs are linked: a blank import per
+// package, each of whose init functions calls prefetch.RegisterL2 or
+// RegisterL1. The engine imports this package; a new prefetcher therefore
+// needs exactly (a) its own package with a registration and (b) one line
+// here — no engine, scheduler or CLI changes.
+package all
+
+import (
+	_ "bopsim/internal/core"  // "bo"
+	_ "bopsim/internal/multi" // "multi"
+	_ "bopsim/internal/sbp"   // "sbp"
+	// "none", "nextline" and "offset" (L2) and "none" (L1) register from
+	// internal/prefetch itself.
+	_ "bopsim/internal/stride" // "stride" (L1)
+)

@@ -38,6 +38,31 @@ type L2Prefetcher interface {
 	OnFill(line mem.LineAddr, wasPrefetch bool)
 }
 
+// PreIssueTagChecker is optionally implemented by L2 prefetchers whose
+// requests should pass an extra L2 tag lookup before entering the prefetch
+// queue. The paper adds this check for SBP's degree-N request streams
+// (section 6.3); any registered prefetcher issuing several lines per access
+// should opt in the same way.
+type PreIssueTagChecker interface {
+	PreIssueTagCheck() bool
+}
+
+// L1Prefetcher is implemented by DL1 prefetchers. Unlike L2 prefetchers
+// they see the program side of an access — the requesting PC and the
+// virtual address — and return virtual prefetch addresses; the hierarchy
+// translates, TLB2-gates and injects them (paper section 5.5).
+type L1Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// Query computes a prefetch virtual address for a load/store at pc
+	// accessing va, using state from *before* this access's table update.
+	// The caller invokes it only for DL1 misses and prefetched hits.
+	Query(pc uint64, va mem.Addr) (prefVA mem.Addr, ok bool)
+	// Update records the retirement of a load/store at pc with address va
+	// (tables update at retirement, in program order).
+	Update(pc uint64, va mem.Addr)
+}
+
 // None is the "no L2 prefetcher" configuration (Figure 5's ablation).
 type None struct{}
 

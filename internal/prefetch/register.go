@@ -1,0 +1,48 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"bopsim/internal/mem"
+)
+
+// The two trivial L2 prefetchers implemented by this package register
+// themselves here; the "none" spellings for both slots live here too.
+// Richer prefetchers (bo, sbp, multi, stride) register from their own
+// packages — see internal/prefetch/all for the link-time bundle.
+
+func init() {
+	RegisterL2("none", Definition[L2Prefetcher]{
+		Help: "no L2 prefetching (Figure 5's ablation)",
+		Build: func(mem.PageSize, Values) (L2Prefetcher, error) {
+			return None{}, nil
+		},
+	})
+	RegisterL2("nextline", Definition[L2Prefetcher]{
+		Help: "baseline next-line prefetcher (offset 1, section 5.6)",
+		Build: func(page mem.PageSize, _ Values) (L2Prefetcher, error) {
+			return NewNextLine(page), nil
+		},
+	})
+	RegisterL2("offset", Definition[L2Prefetcher]{
+		Help:     "fixed-offset prefetcher: X -> X+d (Figures 7 and 8)",
+		Defaults: map[string]string{"d": "1"},
+		Build: func(page mem.PageSize, v Values) (L2Prefetcher, error) {
+			var err error
+			d := v.Int("d", 1, &err)
+			if err != nil {
+				return nil, err
+			}
+			if d < 1 {
+				return nil, fmt.Errorf("offset d=%d must be >= 1", d)
+			}
+			return NewFixedOffset(page, d), nil
+		},
+	})
+	RegisterL1("none", Definition[L1Prefetcher]{
+		Help: "no DL1 prefetching (Figure 4's ablation)",
+		Build: func(mem.PageSize, Values) (L1Prefetcher, error) {
+			return nil, nil
+		},
+	})
+}

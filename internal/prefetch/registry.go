@@ -1,0 +1,255 @@
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bopsim/internal/mem"
+)
+
+// This file is the prefetcher registry. Each prefetcher package registers a
+// Definition for its name in an init function (core registers "bo", sbp
+// "sbp", and so on; internal/prefetch/all blank-imports every
+// implementation, the way image codecs and database drivers link in).
+// Everything above the registry — the engine, the experiment scheduler, the
+// CLIs — constructs prefetchers from Specs only, so adding a prefetcher
+// never touches those layers.
+//
+// There are two registries for the two attachment points: L2 prefetchers
+// (physical line addresses, the paper's configurable slot) and L1
+// prefetchers (PC + virtual address, the DL1 stride slot).
+
+// Definition describes one registered prefetcher.
+type Definition[T any] struct {
+	// Defaults enumerates every accepted parameter key with the canonical
+	// rendering of its default value. A spec naming a key outside this set
+	// is rejected, and Normalize drops parameters spelled with their
+	// default value, so equivalent specs share one canonical form (and one
+	// cache key).
+	Defaults map[string]string
+	// Build constructs the prefetcher. Keys have been validated against
+	// Defaults already; Build parses the values (see Values) and may reject
+	// semantically invalid combinations. A nil result with nil error means
+	// "explicitly no prefetcher" (the "none" registrations).
+	Build func(page mem.PageSize, v Values) (T, error)
+	// Help is a one-line description for -list-pf style output.
+	Help string
+}
+
+type registry[T any] struct {
+	mu   sync.RWMutex
+	defs map[string]Definition[T]
+}
+
+var (
+	l2Registry = &registry[L2Prefetcher]{defs: make(map[string]Definition[L2Prefetcher])}
+	l1Registry = &registry[L1Prefetcher]{defs: make(map[string]Definition[L1Prefetcher])}
+)
+
+// RegisterL2 registers an L2 prefetcher definition under name. It panics on
+// a duplicate or syntactically invalid name — registration is an init-time
+// programming action, not a runtime input.
+func RegisterL2(name string, def Definition[L2Prefetcher]) { l2Registry.register(name, def) }
+
+// RegisterL1 registers an L1 (DL1) prefetcher definition under name.
+func RegisterL1(name string, def Definition[L1Prefetcher]) { l1Registry.register(name, def) }
+
+// NewL2 builds the L2 prefetcher described by spec. Unknown names and
+// parameters, and invalid parameter values, are errors.
+func NewL2(spec Spec, page mem.PageSize) (L2Prefetcher, error) { return l2Registry.build(spec, page) }
+
+// NewL1 builds the L1 prefetcher described by spec. A nil prefetcher with a
+// nil error means the spec explicitly disables L1 prefetching ("none").
+func NewL1(spec Spec, page mem.PageSize) (L1Prefetcher, error) { return l1Registry.build(spec, page) }
+
+// NormalizeL2 validates spec against the L2 registry and returns its
+// canonical form: lowercased, parameters restricted to the registered key
+// set, and parameters spelled with their default value dropped — so
+// "bo:scoremax=31" and "bo" normalize (and therefore hash) identically.
+func NormalizeL2(spec Spec) (Spec, error) { return l2Registry.normalize(spec) }
+
+// NormalizeL1 is NormalizeL2 for the L1 registry.
+func NormalizeL1(spec Spec) (Spec, error) { return l1Registry.normalize(spec) }
+
+// L2Names returns the sorted names of every registered L2 prefetcher.
+func L2Names() []string { return l2Registry.names() }
+
+// L1Names returns the sorted names of every registered L1 prefetcher.
+func L1Names() []string { return l1Registry.names() }
+
+// L2Help returns the registered help line for name ("" when unknown).
+func L2Help(name string) string { return l2Registry.help(name) }
+
+// L1Help returns the registered help line for name ("" when unknown).
+func L1Help(name string) string { return l1Registry.help(name) }
+
+func (r *registry[T]) register(name string, def Definition[T]) {
+	if err := checkToken(name); err != nil {
+		panic(fmt.Sprintf("prefetch: invalid registration name %q: %v", name, err))
+	}
+	if def.Build == nil {
+		panic(fmt.Sprintf("prefetch: registration %q has no Build", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.defs[name]; dup {
+		panic(fmt.Sprintf("prefetch: prefetcher %q registered twice", name))
+	}
+	r.defs[name] = def
+}
+
+func (r *registry[T]) lookup(spec Spec) (Definition[T], Spec, error) {
+	spec = spec.Canonical()
+	r.mu.RLock()
+	def, ok := r.defs[spec.Name]
+	r.mu.RUnlock()
+	if !ok {
+		return Definition[T]{}, Spec{}, fmt.Errorf("prefetch: unknown prefetcher %q (registered: %s)",
+			spec.Name, strings.Join(r.names(), "|"))
+	}
+	for key := range spec.Params {
+		if _, known := def.Defaults[key]; !known {
+			return Definition[T]{}, Spec{}, fmt.Errorf("prefetch: %s has no parameter %q (accepted: %s)",
+				spec.Name, key, strings.Join(sortedKeys(def.Defaults), "|"))
+		}
+	}
+	return def, spec, nil
+}
+
+func (r *registry[T]) build(spec Spec, page mem.PageSize) (T, error) {
+	var zero T
+	def, spec, err := r.lookup(spec)
+	if err != nil {
+		return zero, err
+	}
+	p, err := def.Build(page, Values(spec.Params))
+	if err != nil {
+		return zero, fmt.Errorf("prefetch: %s: %v", spec.Name, err)
+	}
+	return p, nil
+}
+
+func (r *registry[T]) normalize(spec Spec) (Spec, error) {
+	def, spec, err := r.lookup(spec)
+	if err != nil {
+		return Spec{}, err
+	}
+	// Building validates the parameter values, so a normalized spec is
+	// always constructible; prefetcher construction is cheap by design.
+	if _, err := def.Build(mem.Page4K, Values(spec.Params)); err != nil {
+		return Spec{}, fmt.Errorf("prefetch: %s: %v", spec.Name, err)
+	}
+	out := Spec{Name: spec.Name}
+	for key, value := range spec.Params {
+		if def.Defaults[key] == value {
+			continue // spelled-out default: drop for a stable canonical form
+		}
+		if out.Params == nil {
+			out.Params = make(map[string]string)
+		}
+		out.Params[key] = value
+	}
+	return out, nil
+}
+
+func (r *registry[T]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.defs)
+}
+
+func (r *registry[T]) help(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.defs[name].Help
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Values is the parameter map a Build function parses. The typed accessors
+// take the default and an error accumulator: the first failed parse wins,
+// so a factory reads every parameter unconditionally and checks err once.
+type Values map[string]string
+
+// Int parses an integer parameter.
+func (v Values) Int(key string, def int, err *error) int {
+	raw, ok := v[key]
+	if !ok {
+		return def
+	}
+	n, e := strconv.Atoi(raw)
+	if e != nil {
+		setErr(err, fmt.Errorf("parameter %s=%q: not an integer", key, raw))
+		return def
+	}
+	return n
+}
+
+// Uint parses a non-negative integer parameter.
+func (v Values) Uint(key string, def uint, err *error) uint {
+	n := v.Int(key, int(def), err)
+	if n < 0 {
+		setErr(err, fmt.Errorf("parameter %s=%d: must be >= 0", key, n))
+		return def
+	}
+	return uint(n)
+}
+
+// Bool parses a boolean parameter ("true"/"false"/"1"/"0").
+func (v Values) Bool(key string, def bool, err *error) bool {
+	raw, ok := v[key]
+	if !ok {
+		return def
+	}
+	b, e := strconv.ParseBool(raw)
+	if e != nil {
+		setErr(err, fmt.Errorf("parameter %s=%q: not a boolean", key, raw))
+		return def
+	}
+	return b
+}
+
+// Ints parses a '+'-separated integer list parameter (e.g. "1+2+8").
+func (v Values) Ints(key string, def []int, err *error) []int {
+	raw, ok := v[key]
+	if !ok {
+		return def
+	}
+	parts := strings.Split(raw, "+")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, e := strconv.Atoi(p)
+		if e != nil {
+			setErr(err, fmt.Errorf("parameter %s=%q: %q is not an integer", key, raw, p))
+			return def
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func setErr(err *error, e error) {
+	if *err == nil {
+		*err = e
+	}
+}
+
+// FormatInts renders an integer list in the canonical '+'-separated form
+// Values.Ints parses; registrations use it to spell list defaults.
+func FormatInts(list []int) string {
+	parts := make([]string, len(list))
+	for i, n := range list {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, "+")
+}

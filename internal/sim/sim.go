@@ -7,7 +7,10 @@
 //
 // The types here are aliases of the engine's, so code holding a sim.Options
 // can construct an engine.Simulation directly when it needs stepping,
-// snapshots or cancellation.
+// snapshots or cancellation. The PF* values are compatibility shims for the
+// historical closed PrefetcherKind enum: they are ordinary prefetch.Specs
+// now, and any registered prefetcher — not just these — can be assigned to
+// Options.L2PF.
 package sim
 
 import (
@@ -16,19 +19,29 @@ import (
 
 	"bopsim/internal/engine"
 	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
 )
 
-// PrefetcherKind selects the L2 prefetcher.
-type PrefetcherKind = engine.PrefetcherKind
+// PrefetcherKind is the historical name for a prefetcher selection; it is
+// an open registry spec now, not a closed enum.
+//
+// Deprecated: use prefetch.Spec directly.
+type PrefetcherKind = prefetch.Spec
 
-// Available L2 prefetcher configurations.
-const (
-	PFNone     = engine.PFNone
-	PFNextLine = engine.PFNextLine
-	PFOffset   = engine.PFOffset
-	PFBO       = engine.PFBO
-	PFSBP      = engine.PFSBP
+// Specs for the historical enum spellings. Any registered spec works in
+// their place (see prefetch.ParseSpec and prefetch.L2Names).
+var (
+	PFNone     = prefetch.Spec{Name: "none"}
+	PFNextLine = prefetch.Spec{Name: "nextline"}
+	PFBO       = prefetch.Spec{Name: "bo"}
+	PFSBP      = prefetch.Spec{Name: "sbp"}
 )
+
+// PFOffsetD returns the fixed-offset prefetcher spec "offset:d=<d>" (the
+// historical PFOffset + Options.FixedOffset pair).
+func PFOffsetD(d int) prefetch.Spec {
+	return prefetch.Spec{Name: "offset", Params: map[string]string{"d": fmt.Sprint(d)}}
+}
 
 // Options describes one simulation run.
 type Options = engine.Options

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
 	"bopsim/internal/trace"
 )
 
@@ -43,13 +44,24 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestAllPrefetchersRun(t *testing.T) {
-	for _, pf := range []PrefetcherKind{PFNone, PFNextLine, PFOffset, PFBO, PFSBP} {
+	// Every *registered* L2 prefetcher must run end to end — including any
+	// added purely by registration, like "multi".
+	names := prefetch.L2Names()
+	if len(names) < 6 {
+		t.Fatalf("only %d registered L2 prefetchers: %v", len(names), names)
+	}
+	for _, name := range names {
 		o := quick("437.leslie3d")
-		o.L2PF = pf
-		o.FixedOffset = 4
+		o.L2PF = prefetch.Spec{Name: name}
 		if _, err := Run(o); err != nil {
-			t.Errorf("%s: %v", pf, err)
+			t.Errorf("%s: %v", name, err)
 		}
+	}
+	// A parameterized spec spelled as a string works the same way.
+	o := quick("437.leslie3d")
+	o.L2PF = prefetch.MustSpec("offset:d=4")
+	if _, err := Run(o); err != nil {
+		t.Errorf("offset:d=4: %v", err)
 	}
 }
 
@@ -198,8 +210,7 @@ func TestFig8ShapeOffsetPeaks(t *testing.T) {
 		o := quick("433.milc")
 		o.Page = mem.Page4M
 		o.Instructions = 150_000
-		o.L2PF = PFOffset
-		o.FixedOffset = d
+		o.L2PF = PFOffsetD(d)
 		r, err := Run(o)
 		if err != nil {
 			t.Fatal(err)

@@ -39,8 +39,9 @@ type Stats struct {
 
 // Prefetcher is the DL1 stride prefetcher.
 type Prefetcher struct {
-	entries [TableEntries]entry
-	clock   uint64
+	entries  [TableEntries]entry
+	clock    uint64
+	distance int64
 
 	filter    [FilterEntries]mem.LineAddr
 	filterAge [FilterEntries]uint64
@@ -49,8 +50,18 @@ type Prefetcher struct {
 	stats Stats
 }
 
-// New returns an empty stride prefetcher.
-func New() *Prefetcher { return &Prefetcher{} }
+// New returns an empty stride prefetcher with the paper's distance factor.
+func New() *Prefetcher { return NewWithDistance(DistanceFactor) }
+
+// NewWithDistance returns an empty stride prefetcher with the given
+// prefetch distance factor (the paper's empirically determined value is
+// DistanceFactor = 16).
+func NewWithDistance(distance int) *Prefetcher {
+	return &Prefetcher{distance: int64(distance)}
+}
+
+// Name identifies the prefetcher in reports.
+func (p *Prefetcher) Name() string { return "stride" }
 
 // Stats returns a copy of the statistics.
 func (p *Prefetcher) Stats() Stats { return p.stats }
@@ -98,7 +109,7 @@ func (p *Prefetcher) Query(pc uint64, va mem.Addr) (prefVA mem.Addr, ok bool) {
 		return 0, false
 	}
 	p.stats.Confident++
-	target := mem.Addr(int64(va) + DistanceFactor*e.stride)
+	target := mem.Addr(int64(va) + p.distance*e.stride)
 	if int64(target) < 0 {
 		return 0, false
 	}

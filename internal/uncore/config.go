@@ -34,10 +34,6 @@ type Config struct {
 	// "LRU" or "DRRIP" (Figure 3).
 	L3Policy string
 
-	// StridePrefetcher enables the DL1 stride prefetcher (Figure 4 disables
-	// it).
-	StridePrefetcher bool
-
 	// LatePromotion enables demand misses hitting fill-queue prefetch
 	// entries to be promoted (section 5.4). Disabling it is an ablation.
 	LatePromotion bool
@@ -66,7 +62,6 @@ func DefaultConfig(numCores int, page mem.PageSize) Config {
 		PrefetchQueueLen: 8,
 		MSHRs:            32,
 		L3Policy:         "5P",
-		StridePrefetcher: true,
 		LatePromotion:    true,
 		Seed:             1,
 	}

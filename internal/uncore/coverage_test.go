@@ -13,31 +13,34 @@ func TestSBPGetsPreIssueTagCheck(t *testing.T) {
 	cfg := DefaultConfig(1, mem.Page4K)
 	h := New(cfg, func(int) prefetch.L2Prefetcher {
 		return sbp.New(cfg.Page, sbp.DefaultParams())
-	}, nil)
+	}, nil, nil)
 	if !h.preIssueTagCheck[0] {
 		t.Error("SBP did not get the extra pre-issue L2 tag check (section 6.3)")
 	}
 	h2 := New(cfg, func(int) prefetch.L2Prefetcher {
 		return prefetch.NewNextLine(cfg.Page)
-	}, nil)
+	}, nil, nil)
 	if h2.preIssueTagCheck[0] {
 		t.Error("next-line wrongly got the SBP-only tag check")
 	}
 }
 
 func TestNilPrefetcherFactoryMeansNone(t *testing.T) {
-	h := New(DefaultConfig(1, mem.Page4K), nil, nil)
+	h := New(DefaultConfig(1, mem.Page4K), nil, nil, nil)
 	if h.L2Prefetcher(0).Name() != "none" {
 		t.Errorf("prefetcher = %s, want none", h.L2Prefetcher(0).Name())
 	}
-	h2 := New(DefaultConfig(1, mem.Page4K), func(int) prefetch.L2Prefetcher { return nil }, nil)
+	if h.L1Prefetcher(0) != nil {
+		t.Error("nil L1 factory did not disable DL1 prefetching")
+	}
+	h2 := New(DefaultConfig(1, mem.Page4K), func(int) prefetch.L2Prefetcher { return nil }, nil, nil)
 	if h2.L2Prefetcher(0).Name() != "none" {
 		t.Error("nil from factory not mapped to None")
 	}
 }
 
 func TestOccupancyTelemetryAdvances(t *testing.T) {
-	h := New(DefaultConfig(1, mem.Page4K), nil, nil)
+	h := New(DefaultConfig(1, mem.Page4K), nil, nil, nil)
 	for now := uint64(0); now < 100; now++ {
 		h.Access(0, 0x400, mem.Addr(0x100000+now*4096), false, now)
 		h.Tick(now)
@@ -61,7 +64,7 @@ func TestWritebackRetryWhenDRAMWriteQueueFull(t *testing.T) {
 	p.WriteQueueLen = 1
 	memory := dram.New(p)
 	cfg := DefaultConfig(1, mem.Page4K)
-	h := New(cfg, nil, memory)
+	h := New(cfg, nil, nil, memory)
 
 	// Queue several writebacks directly; with a 1-entry write queue most
 	// must buffer in pendingWB and drain over subsequent ticks.
@@ -85,7 +88,7 @@ func TestWritebackRetryWhenDRAMWriteQueueFull(t *testing.T) {
 
 func TestConfigLatenciesRespected(t *testing.T) {
 	// An L2 hit must complete in DL1+L2 latency, not a DRAM round trip.
-	h := New(DefaultConfig(1, mem.Page4K), nil, nil)
+	h := New(DefaultConfig(1, mem.Page4K), nil, nil, nil)
 	// Warm the line into DL1+L2, then evict it from DL1 only by filling
 	// the DL1 set; simplest: access once, drain, invalidate the DL1 copy.
 	fut := h.Access(0, 0x400, 0x10000, false, 0)

@@ -5,7 +5,6 @@ import (
 	"bopsim/internal/dram"
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
-	"bopsim/internal/stride"
 	"bopsim/internal/tlb"
 )
 
@@ -63,16 +62,16 @@ type Stats struct {
 type Hierarchy struct {
 	cfg Config
 
-	dl1     []*cache.Cache
-	l2      []*cache.Cache
-	l3      *cache.Cache
-	fivep   *cache.FiveP // non-nil when L3Policy is 5P
-	tlbs    []*tlb.Hierarchy
-	strides []*stride.Prefetcher
-	l2pf    []prefetch.L2Prefetcher
+	dl1   []*cache.Cache
+	l2    []*cache.Cache
+	l3    *cache.Cache
+	fivep *cache.FiveP // non-nil when L3Policy is 5P
+	tlbs  []*tlb.Hierarchy
+	l1pf  []prefetch.L1Prefetcher // nil entries: no DL1 prefetching
+	l2pf  []prefetch.L2Prefetcher
 	// preIssueTagCheck enables the extra L2 tag lookup before issuing a
-	// prefetch, which the paper adds for SBP's degree-N requests
-	// (section 6.3).
+	// prefetch, which the paper adds for SBP-style degree-N requests
+	// (section 6.3); prefetchers opt in via prefetch.PreIssueTagChecker.
 	preIssueTagCheck []bool
 
 	mem *dram.Memory
@@ -95,10 +94,11 @@ type wbReq struct {
 	core int
 }
 
-// New builds a hierarchy. newL2PF is called once per core to construct that
-// core's private L2 prefetcher (pass nil for no L2 prefetching). memory may
-// be nil, in which case the default DRAM for cfg.NumCores is built.
-func New(cfg Config, newL2PF func(core int) prefetch.L2Prefetcher, memory *dram.Memory) *Hierarchy {
+// New builds a hierarchy. newL2PF and newL1PF are called once per core to
+// construct that core's private L2 and DL1 prefetchers (a nil factory, or a
+// factory returning nil, means no prefetching at that level). memory may be
+// nil, in which case the default DRAM for cfg.NumCores is built.
+func New(cfg Config, newL2PF func(core int) prefetch.L2Prefetcher, newL1PF func(core int) prefetch.L1Prefetcher, memory *dram.Memory) *Hierarchy {
 	if memory == nil {
 		memory = dram.New(dram.DefaultParams(cfg.NumCores))
 	}
@@ -117,7 +117,11 @@ func New(cfg Config, newL2PF func(core int) prefetch.L2Prefetcher, memory *dram.
 		h.dl1 = append(h.dl1, cache.New("DL1", cfg.DL1Size, cfg.DL1Ways, cache.NewLRU(dl1Sets, cfg.DL1Ways)))
 		h.l2 = append(h.l2, cache.New("L2", cfg.L2Size, cfg.L2Ways, cache.NewLRU(l2Sets, cfg.L2Ways)))
 		h.tlbs = append(h.tlbs, tlb.New(cfg.Page))
-		h.strides = append(h.strides, stride.New())
+		var l1 prefetch.L1Prefetcher
+		if newL1PF != nil {
+			l1 = newL1PF(c)
+		}
+		h.l1pf = append(h.l1pf, l1)
 		var pf prefetch.L2Prefetcher = prefetch.None{}
 		if newL2PF != nil {
 			if p := newL2PF(c); p != nil {
@@ -125,7 +129,11 @@ func New(cfg Config, newL2PF func(core int) prefetch.L2Prefetcher, memory *dram.
 			}
 		}
 		h.l2pf = append(h.l2pf, pf)
-		h.preIssueTagCheck = append(h.preIssueTagCheck, pf.Name() == "SBP")
+		tagCheck := false
+		if tc, ok := pf.(prefetch.PreIssueTagChecker); ok {
+			tagCheck = tc.PreIssueTagCheck()
+		}
+		h.preIssueTagCheck = append(h.preIssueTagCheck, tagCheck)
 		h.demandQ = append(h.demandQ, nil)
 		h.l2fq = append(h.l2fq, newFillQueue(cfg.L2FillQueueLen))
 		h.pq = append(h.pq, newPrefetchQueue(cfg.PrefetchQueueLen))
@@ -153,6 +161,10 @@ func (h *Hierarchy) Memory() *dram.Memory { return h.mem }
 
 // L2Prefetcher returns core's L2 prefetcher, for inspection.
 func (h *Hierarchy) L2Prefetcher(core int) prefetch.L2Prefetcher { return h.l2pf[core] }
+
+// L1Prefetcher returns core's DL1 prefetcher (nil when disabled), for
+// inspection.
+func (h *Hierarchy) L1Prefetcher(core int) prefetch.L1Prefetcher { return h.l1pf[core] }
 
 // CanAccept reports whether core can start a new DL1 miss (MSHR space).
 func (h *Hierarchy) CanAccept(core int) bool {
@@ -198,22 +210,22 @@ func (h *Hierarchy) Access(core int, pc uint64, va mem.Addr, isWrite bool, now u
 	return fut
 }
 
-// RetireMemOp updates the DL1 stride prefetcher table at retirement of a
+// RetireMemOp updates the DL1 prefetcher table at retirement of a
 // load/store (section 5.5: the table is updated at retirement to see
 // accesses in program order).
 func (h *Hierarchy) RetireMemOp(core int, pc uint64, va mem.Addr) {
-	if h.cfg.StridePrefetcher {
-		h.strides[core].Update(pc, va)
+	if h.l1pf[core] != nil {
+		h.l1pf[core].Update(pc, va)
 	}
 }
 
-// strideQuery asks the DL1 stride prefetcher for a prefetch on a DL1 miss
-// or prefetched hit, applying the TLB2 gate of section 5.5.
+// strideQuery asks the DL1 prefetcher for a prefetch on a DL1 miss or
+// prefetched hit, applying the TLB2 gate of section 5.5.
 func (h *Hierarchy) strideQuery(core int, pc uint64, va mem.Addr, t0 uint64) {
-	if !h.cfg.StridePrefetcher {
+	if h.l1pf[core] == nil {
 		return
 	}
-	target, ok := h.strides[core].Query(pc, va)
+	target, ok := h.l1pf[core].Query(pc, va)
 	if !ok {
 		return
 	}

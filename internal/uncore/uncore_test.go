@@ -6,12 +6,17 @@ import (
 	"bopsim/internal/dram"
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
+	"bopsim/internal/stride"
 )
 
-// testHier builds a 1-core hierarchy with the given prefetcher.
+// testHier builds a 1-core hierarchy with the given L2 prefetcher and the
+// baseline DL1 stride prefetcher.
 func testHier(pf prefetch.L2Prefetcher) *Hierarchy {
 	cfg := DefaultConfig(1, mem.Page4K)
-	return New(cfg, func(int) prefetch.L2Prefetcher { return pf }, nil)
+	return New(cfg,
+		func(int) prefetch.L2Prefetcher { return pf },
+		func(int) prefetch.L1Prefetcher { return stride.New() },
+		nil)
 }
 
 // runUntil ticks the hierarchy until fut resolves, returning the cycle.
@@ -104,7 +109,7 @@ func TestPromotionDisabledAblation(t *testing.T) {
 	cfg := DefaultConfig(1, mem.Page4K)
 	cfg.LatePromotion = false
 	pf := &scriptedPF{}
-	h := New(cfg, func(int) prefetch.L2Prefetcher { return pf }, nil)
+	h := New(cfg, func(int) prefetch.L2Prefetcher { return pf }, nil, nil)
 	pf.targets = []mem.LineAddr{h.translators[0].TranslateLine(mem.LineOf(0x20000))}
 	h.Access(0, 0x400, 0x10000, false, 0)
 	for now := uint64(0); now < 50; now++ {
@@ -338,7 +343,7 @@ func TestL3PolicySelection(t *testing.T) {
 	for _, pol := range []string{"5P", "LRU", "DRRIP"} {
 		cfg := DefaultConfig(1, mem.Page4K)
 		cfg.L3Policy = pol
-		h := New(cfg, nil, nil)
+		h := New(cfg, nil, nil, nil)
 		if got := h.l3.Policy().Name(); got != pol {
 			t.Errorf("L3 policy = %s, want %s", got, pol)
 		}
@@ -353,7 +358,7 @@ func TestUnknownL3PolicyPanics(t *testing.T) {
 	}()
 	cfg := DefaultConfig(1, mem.Page4K)
 	cfg.L3Policy = "FIFO"
-	New(cfg, nil, nil)
+	New(cfg, nil, nil, nil)
 }
 
 // scriptedPF returns a fixed target list on the first eligible access.
