@@ -2,16 +2,24 @@
 // configuration with a chosen L2 prefetcher, printing IPC and the relevant
 // event counts. It drives the steppable engine directly, so Ctrl-C cancels
 // a long run cleanly (reporting the partial measurements) and -progress
-// shows the run advancing.
+// shows the run advancing. With -workers the run executes on a remote
+// boworkerd daemon instead of in-process.
 //
 // Prefetchers are selected by registry spec: any name printed by -list-pf,
 // optionally parameterized as name:key=value,key=value.
+//
+// -verify is the result-cache trust anchor: it re-executes a sample of the
+// entries in a -cache directory and diffs each fresh result against the
+// stored one, catching caches gone stale after simulator changes (and
+// spot-checking results that remote workers computed).
 //
 // Usage:
 //
 //	bosim -workload 462.libquantum -l2pf bo -page 4MB -cores 1 -n 1000000
 //	bosim -workload 433.milc -l2pf offset:d=4 -l1pf none
 //	bosim -workload 429.mcf -l2pf bo:badscore=5 -progress -json
+//	bosim -workload 470.lbm -workers 10.0.0.7:9123
+//	bosim -verify -cache .simcache -verify-sample 16
 package main
 
 import (
@@ -21,9 +29,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"bopsim/internal/distrib"
 	"bopsim/internal/engine"
+	"bopsim/internal/experiments"
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
 	"bopsim/internal/sim"
@@ -43,11 +54,17 @@ func main() {
 		n         = flag.Uint64("n", 500_000, "instructions to retire on core 0")
 		l3        = flag.String("l3", "5P", "L3 replacement policy: 5P|LRU|DRRIP")
 		noStride  = flag.Bool("nostride", false, "deprecated: disable the DL1 stride prefetcher (use -l1pf none)")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
+		seed      = flag.Uint64("seed", 1, "simulation seed (also seeds -verify sampling)")
 		list      = flag.Bool("list", false, "list available workloads and exit")
 		listPF    = flag.Bool("list-pf", false, "list registered prefetchers and their spec names, then exit")
 		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of text")
 		progress  = flag.Bool("progress", false, "report live progress on stderr while running")
+
+		workersCS = flag.String("workers", "", "comma-separated boworkerd addresses: execute the run remotely instead of in-process")
+
+		verify       = flag.Bool("verify", false, "verify a result cache: re-execute sampled entries from -cache and diff against the stored results")
+		cacheDir     = flag.String("cache", "", "result-cache directory for -verify")
+		verifySample = flag.Int("verify-sample", 8, "how many cache entries -verify re-executes (0: all)")
 	)
 	flag.Parse()
 
@@ -66,6 +83,10 @@ func main() {
 		for _, name := range prefetch.L1Names() {
 			fmt.Printf("  %-10s %s\n", name, prefetch.L1Help(name))
 		}
+		return
+	}
+	if *verify {
+		runVerify(*cacheDir, *verifySample, *seed)
 		return
 	}
 
@@ -92,6 +113,23 @@ func main() {
 	o.Seed = *seed
 	o.TracePath = *tracePath
 
+	if *workersCS != "" {
+		// Remote execution: the whole run happens on one worker, so there
+		// is no stepping, progress or partial-result cancellation here.
+		pool, err := distrib.Dial(strings.Split(*workersCS, ","), distrib.RetryPolicy{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+			os.Exit(1)
+		}
+		r, err := pool.Run(0, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+			os.Exit(1)
+		}
+		output(o.Normalized(), r, false, *jsonOut)
+		return
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -113,24 +151,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
 		os.Exit(1)
 	}
+	output(s.Options(), r, interrupted, *jsonOut)
+	exitInterrupted(interrupted)
+}
 
-	if *jsonOut {
+// output renders one finished (or interrupted) run, local or remote.
+func output(o engine.Options, r sim.Result, interrupted, jsonOut bool) {
+	if jsonOut {
 		b, err := json.MarshalIndent(struct {
 			Options     engine.Options `json:"options"`
 			Interrupted bool           `json:"interrupted,omitempty"`
 			Result      sim.Result     `json:"result"`
-		}{s.Options(), interrupted, r}, "", " ")
+		}{o, interrupted, r}, "", " ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(string(b))
-		exitInterrupted(interrupted)
 		return
 	}
-
 	fmt.Printf("workload        %s\n", r.Workload)
-	fmt.Printf("config          %s, L2 prefetcher %s, L3 %s\n", sim.ConfigLabel(*cores, page), s.Options().L2PF, *l3)
+	fmt.Printf("config          %s, L2 prefetcher %s, L3 %s\n", sim.ConfigLabel(o.Cores, o.Page), o.L2PF, o.L3Policy)
 	fmt.Printf("instructions    %d\n", r.Instructions)
 	fmt.Printf("cycles          %d\n", r.Cycles)
 	fmt.Printf("IPC             %.4f\n", r.IPC)
@@ -147,7 +188,26 @@ func main() {
 		fmt.Printf("BO              final offset %d, phases %d (off %d), RR insertions %d\n",
 			r.FinalBOOffset, r.BO.Phases, r.BO.PhasesOff, r.BO.RRInsertions)
 	}
-	exitInterrupted(interrupted)
+}
+
+// runVerify is the -verify mode: re-execute sampled cache entries and exit
+// nonzero when any stored result diverges from a fresh run.
+func runVerify(dir string, sample int, seed uint64) {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "bosim: -verify needs -cache DIR")
+		os.Exit(2)
+	}
+	rep, err := experiments.VerifyCache(dir, sample, seed, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosim: verify: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("verified %d/%d cache entries: %d mismatched, %d orphaned (unreachable key), %d skipped (corrupt or old schema)\n",
+		rep.Checked, rep.Entries, rep.Mismatched, rep.Orphaned, rep.Skipped)
+	if rep.Mismatched > 0 {
+		fmt.Fprintln(os.Stderr, "bosim: cache is STALE — delete the mismatched entries (or the directory) and re-run")
+		os.Exit(1)
+	}
 }
 
 // exitInterrupted exits with the conventional SIGINT status when the run

@@ -1,0 +1,91 @@
+// Command boworkerd is the remote-execution worker daemon for the
+// experiment scheduler: it serves internal/distrib's worker protocol
+// (advertise capacity on /v1/info, execute jobs on /v1/run) using the
+// same simulation engine the coordinator runs locally, so
+// `experiments -all -workers host:port,...` can fan a sweep out over a
+// fleet and still render byte-identical tables.
+//
+// Trace-replay jobs name their trace by content SHA-256; point -trace-dir
+// at the director(ies) holding this machine's copies and the daemon
+// resolves hashes against them.
+//
+// Usage:
+//
+//	boworkerd -listen :9123
+//	boworkerd -listen :9123 -capacity 8 -trace-dir /data/traces -v
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"bopsim/internal/distrib"
+	"bopsim/internal/experiments"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":9123", "address to serve the worker API on")
+		capacity  = flag.Int("capacity", runtime.GOMAXPROCS(0), "simulations to execute concurrently (advertised to the coordinator)")
+		traceDirs = flag.String("trace-dir", "", "comma-separated directories holding trace files, resolved by content hash")
+		verbose   = flag.Bool("v", false, "log every job")
+	)
+	flag.Parse()
+
+	var dirs []string
+	for _, d := range strings.Split(*traceDirs, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dirs = append(dirs, d)
+		}
+	}
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	cap := *capacity
+	if cap <= 0 {
+		cap = runtime.GOMAXPROCS(0)
+	}
+	worker := &distrib.Server{Capacity: cap, TraceDirs: dirs, Log: logw}
+	if len(dirs) > 0 {
+		// Hash the corpus before serving so the first trace job doesn't
+		// pay for the scan inside its request.
+		fmt.Fprintf(os.Stderr, "boworkerd: indexed %d traces in %s\n",
+			worker.WarmTraceIndex(), strings.Join(dirs, ","))
+	}
+	srv := &http.Server{Addr: *listen, Handler: worker.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// ListenAndServe returns the moment Shutdown is *initiated*, so main
+	// must wait for the drain to finish or in-flight jobs die anyway.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		// Give in-flight jobs a moment to finish; a coordinator retries
+		// anything this cuts off.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "boworkerd: listening on %s (capacity %d, protocol v%d, cache schema v%d)\n",
+		*listen, cap, distrib.ProtocolVersion, experiments.SchemaVersion())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "boworkerd: %v\n", err)
+		os.Exit(1)
+	}
+	stop() // unblock the shutdown goroutine when the listener failed on its own
+	<-drained
+}

@@ -13,12 +13,15 @@
 //	experiments -fig8 -benchmarks 433.milc,470.lbm
 //	experiments -zoo -quick                    # every registered prefetcher
 //	experiments -all -cache .simcache -cache-max-mb 256
+//	experiments -all -workers 10.0.0.7:9123,10.0.0.8:9123 -cache .simcache
+//	experiments -all -status :8090             # live progress JSON endpoint
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"bopsim/internal/distrib"
 	"bopsim/internal/experiments"
 	"bopsim/internal/plot"
 	"bopsim/internal/stats"
@@ -44,6 +48,8 @@ func main() {
 		jsonDir  = flag.String("json", "", "also write each figure as JSON into this directory")
 
 		cacheMaxMB = flag.Int64("cache-max-mb", 0, "evict oldest cache entries past this size budget after the run (0: unbounded)")
+		workersCS  = flag.String("workers", "", "comma-separated boworkerd addresses (host:port,...) to execute simulations on instead of this process")
+		statusAddr = flag.String("status", "", "serve scheduler progress as JSON on this address (e.g. :8090) for long sweeps")
 
 		table1 = flag.Bool("table1", false, "print Table 1 (baseline microarchitecture)")
 		table2 = flag.Bool("table2", false, "print Table 2 (BO parameters)")
@@ -75,6 +81,25 @@ func main() {
 	r := experiments.NewRunner(*n, configs)
 	r.Workers = *jobs
 	r.CacheDir = *cacheDir
+	if *workersCS != "" {
+		pool, err := distrib.Dial(strings.Split(*workersCS, ","), distrib.RetryPolicy{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		r.Backend = pool
+		total, _ := pool.Workers()
+		fmt.Fprintf(os.Stderr, "distributed: %d workers, %d execution slots\n", total, pool.Slots())
+	}
+	if *statusAddr != "" {
+		// Best-effort observability: a sweep must not die because the
+		// status port is taken.
+		go func() {
+			if err := http.ListenAndServe(*statusAddr, experiments.StatusHandler(r)); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: status endpoint: %v\n", err)
+			}
+		}()
+	}
 	if *benchCS != "" {
 		r.Benchmarks = strings.Split(*benchCS, ",")
 	} else if *quick {

@@ -1,0 +1,355 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bopsim/internal/experiments"
+	"bopsim/internal/sim"
+)
+
+// RetryPolicy bounds how the coordinator reacts to lost workers: a job
+// whose request dies mid-flight (connection refused, reset, truncated
+// response, 5xx) is requeued on another live worker, sleeping Backoff
+// first. Job-level failures (the simulation itself errors, schema skew)
+// are deterministic and never retried.
+type RetryPolicy struct {
+	// MaxAttempts bounds execution attempts per job: each worker loss
+	// consumes one, and the job fails once MaxAttempts attempts have
+	// been cut short (so MaxAttempts of 1 means no failover at all).
+	// <= 0 means 3, i.e. a job tolerates two worker losses.
+	MaxAttempts int
+	// Backoff after a worker loss; < 0 means none, 0 means 100ms.
+	Backoff time.Duration
+}
+
+// maxWorkerCapacity bounds what one worker may advertise: each capacity
+// unit becomes a coordinator slot (a goroutine plus bookkeeping), so an
+// absurd value from a misconfigured worker must not balloon the
+// coordinator. 1024 is far above any real machine's useful simulation
+// parallelism.
+const maxWorkerCapacity = 1024
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 3
+}
+
+func (p RetryPolicy) backoff() time.Duration {
+	if p.Backoff < 0 {
+		return 0
+	}
+	if p.Backoff == 0 {
+		return 100 * time.Millisecond
+	}
+	return p.Backoff
+}
+
+// worker is the coordinator's view of one boworkerd daemon.
+type worker struct {
+	addr     string // "host:port", display form
+	base     string // "http://host:port"
+	capacity int
+	dead     bool
+}
+
+// Pool implements experiments.ExecBackend (checked below) without the
+// experiments package knowing this package exists; cmd/experiments wires
+// the two together.
+var _ experiments.ExecBackend = (*Pool)(nil)
+
+// Pool fans the scheduler's jobs out to a fleet of workers. It satisfies
+// experiments.ExecBackend: every capacity unit a worker advertises
+// becomes one scheduler slot, homed on that worker; when a worker is
+// lost, its slots fail over to the survivors (whose /v1/run queues
+// excess jobs), so the sweep finishes as long as one worker lives.
+type Pool struct {
+	retry  RetryPolicy
+	client *http.Client
+
+	mu      sync.Mutex
+	workers []*worker
+	home    []int // slot -> index into workers
+	ordinal []int // slot -> slot ordinal within its home worker
+	next    int   // round-robin cursor for failover picks
+}
+
+// Dial contacts every worker's /v1/info, verifies protocol and schema
+// agreement, and builds a Pool with one slot per advertised capacity
+// unit. Any unreachable or incompatible worker fails the whole call: the
+// operator listed it, so silently running without it would be a
+// misconfiguration masked as a slow sweep.
+func Dial(addrs []string, retry RetryPolicy) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("distrib: no worker addresses")
+	}
+	// The default transport keeps only 2 idle connections per host — far
+	// under a worker's concurrent slot count — which would redial TCP for
+	// most jobs despite drainAndClose. Size the idle pool to cover the
+	// capacity cap instead.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = maxWorkerCapacity
+	transport.MaxIdleConns = 0 // no global cap beyond the per-host one
+	p := &Pool{retry: retry, client: &http.Client{Transport: transport}}
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		w, err := dialWorker(p.client, addr)
+		if err != nil {
+			return nil, err
+		}
+		p.workers = append(p.workers, w)
+	}
+	// Interleave slots across workers (A#0, B#0, A#1, B#1, ...) so a job
+	// set smaller than the total capacity still spreads over the whole
+	// fleet — RunJobs clamps its slot count to the job count, and
+	// contiguous homing would leave later-listed workers idle.
+	for k := 0; ; k++ {
+		added := false
+		for idx, w := range p.workers {
+			if k < w.capacity {
+				p.home = append(p.home, idx)
+				p.ordinal = append(p.ordinal, k)
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	if len(p.home) == 0 {
+		return nil, errors.New("distrib: workers advertise zero total capacity")
+	}
+	return p, nil
+}
+
+func dialWorker(client *http.Client, addr string) (*worker, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/info", nil)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: worker %s: %v", addr, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: worker %s unreachable: %v", addr, err)
+	}
+	defer drainAndClose(resp)
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("distrib: worker %s: bad /v1/info response: %v", addr, err)
+	}
+	if info.Protocol != ProtocolVersion || info.Schema != experiments.SchemaVersion() {
+		return nil, fmt.Errorf("distrib: worker %s speaks protocol %d / schema %d, coordinator wants %d / %d",
+			addr, info.Protocol, info.Schema, ProtocolVersion, experiments.SchemaVersion())
+	}
+	if info.Capacity < 1 || info.Capacity > maxWorkerCapacity {
+		return nil, fmt.Errorf("distrib: worker %s advertises capacity %d (want 1..%d)",
+			addr, info.Capacity, maxWorkerCapacity)
+	}
+	return &worker{addr: strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://"),
+		base: base, capacity: info.Capacity}, nil
+}
+
+// Slots implements experiments.ExecBackend: the fleet's total capacity.
+func (p *Pool) Slots() int { return len(p.home) }
+
+// SlotLabel implements experiments.ExecBackend ("host:port#2").
+func (p *Pool) SlotLabel(slot int) string {
+	w := p.workers[p.home[slot]]
+	return fmt.Sprintf("%s#%d", w.addr, p.ordinal[slot])
+}
+
+// Workers reports the fleet size and how many workers are still alive.
+func (p *Pool) Workers() (total, alive int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if !w.dead {
+			alive++
+		}
+	}
+	return len(p.workers), alive
+}
+
+// Run implements experiments.ExecBackend: execute one simulation on the
+// fleet, preferring the slot's home worker and failing over per
+// RetryPolicy when workers are lost.
+//
+// Only worker losses consume the bounded retry budget. Trace probes
+// (412) just grow the per-job exclusion set, which the fleet size
+// bounds, so a trace held by any worker is found no matter how many
+// workers lack it.
+func (p *Pool) Run(slot int, o sim.Options) (sim.Result, error) {
+	job, err := makeJob(o)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	lost := 0
+	noTrace := make(map[*worker]bool)
+	var lastErr error
+	for {
+		w := p.pick(slot, noTrace)
+		if w == nil {
+			if lastErr == nil {
+				lastErr = errors.New("all workers lost")
+			}
+			return sim.Result{}, fmt.Errorf("distrib: no usable worker for job: %w", lastErr)
+		}
+		res, verdict, err := p.post(w, job)
+		switch verdict {
+		case verdictOK:
+			return res, nil
+		case verdictPermanent:
+			return sim.Result{}, err
+		case verdictNoTrace:
+			noTrace[w] = true
+			lastErr = err
+		case verdictWorkerLost:
+			p.markDead(w)
+			lastErr = err
+			if lost++; lost >= p.retry.attempts() {
+				return sim.Result{}, fmt.Errorf("distrib: job failed after losing %d workers: %w", lost, lastErr)
+			}
+			time.Sleep(p.retry.backoff())
+		}
+	}
+}
+
+// makeJob serializes one run for the wire: normalized options, the
+// coordinator's cache key, and — for trace replays — the trace's content
+// hash in place of its local path.
+func makeJob(o sim.Options) (Job, error) {
+	job := Job{
+		Protocol: ProtocolVersion,
+		Schema:   experiments.SchemaVersion(),
+		Key:      experiments.OptionsHash(o),
+		Options:  o.Normalized(),
+	}
+	if o.TracePath != "" {
+		sha := experiments.TraceContentSHA(o.TracePath)
+		if sha == "" {
+			return Job{}, fmt.Errorf("distrib: trace %s unreadable, cannot ship by content hash", o.TracePath)
+		}
+		job.TraceSHA = sha
+		job.Options.TracePath = ""
+	}
+	return job, nil
+}
+
+// pick chooses the worker for one attempt: the slot's home worker when
+// it is still usable, otherwise the next usable worker round-robin —
+// spreading orphaned slots over the survivors instead of piling them on
+// one.
+func (p *Pool) pick(slot int, exclude map[*worker]bool) *worker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w := p.workers[p.home[slot]]; !w.dead && !exclude[w] {
+		return w
+	}
+	for i := 0; i < len(p.workers); i++ {
+		w := p.workers[(p.next+i)%len(p.workers)]
+		if !w.dead && !exclude[w] {
+			p.next = (p.next + i + 1) % len(p.workers)
+			return w
+		}
+	}
+	return nil
+}
+
+func (p *Pool) markDead(w *worker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.dead = true
+}
+
+// drainAndClose reads the body to EOF before closing so the transport
+// can return the connection to its keep-alive pool — json.Decode stops
+// at the end of the value and never observes EOF, and a per-job TCP
+// handshake would pile up TIME_WAIT sockets over a large sweep.
+func drainAndClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+type verdict int
+
+const (
+	verdictOK verdict = iota
+	// verdictPermanent: the job itself is bad (sim error, schema or key
+	// skew); retrying elsewhere would fail identically.
+	verdictPermanent
+	// verdictNoTrace: this worker lacks the job's trace; another may
+	// have it.
+	verdictNoTrace
+	// verdictWorkerLost: transport-level failure or 5xx; the worker is
+	// written off and the job requeued.
+	verdictWorkerLost
+)
+
+// post runs one attempt against one worker. There is deliberately no
+// request timeout: a simulation can legitimately run for minutes, and a
+// killed worker surfaces promptly as a connection error anyway.
+func (p *Pool) post(w *worker, job Job) (sim.Result, verdict, error) {
+	b, err := json.Marshal(job)
+	if err != nil {
+		return sim.Result{}, verdictPermanent, fmt.Errorf("distrib: encoding job: %v", err)
+	}
+	resp, err := p.client.Post(w.base+"/v1/run", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return sim.Result{}, verdictWorkerLost, fmt.Errorf("worker %s: %v", w.addr, err)
+	}
+	defer drainAndClose(resp)
+	if resp.StatusCode == http.StatusOK {
+		var entry experiments.CacheEntry
+		if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil {
+			// A truncated 200 means the worker died mid-response.
+			return sim.Result{}, verdictWorkerLost, fmt.Errorf("worker %s: truncated response: %v", w.addr, err)
+		}
+		if entry.Version != experiments.SchemaVersion() {
+			return sim.Result{}, verdictPermanent,
+				fmt.Errorf("worker %s returned cache schema v%d, want v%d", w.addr, entry.Version, experiments.SchemaVersion())
+		}
+		// End-to-end integrity: the returned options must describe the job
+		// we sent. Trace jobs are exempt only because the worker clears the
+		// path it resolved (the trace identity already lives in Job.Key).
+		if job.TraceSHA == "" {
+			if got := experiments.OptionsHash(entry.Options); got != job.Key {
+				return sim.Result{}, verdictPermanent,
+					fmt.Errorf("worker %s returned result for key %.12s, job was %.12s", w.addr, got, job.Key)
+			}
+		}
+		return entry.Result, verdictOK, nil
+	}
+	var eb ErrorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	errDetail := eb.Error
+	if errDetail == "" {
+		errDetail = resp.Status
+	}
+	err = fmt.Errorf("worker %s: %s (%s)", w.addr, errDetail, eb.Code)
+	switch {
+	case resp.StatusCode == http.StatusPreconditionFailed:
+		return sim.Result{}, verdictNoTrace, err
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return sim.Result{}, verdictPermanent, err
+	default:
+		return sim.Result{}, verdictWorkerLost, err
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"runtime"
+	"strconv"
+
+	"bopsim/internal/sim"
+)
+
+// ExecBackend is where the scheduler's jobs actually execute. RunJobs owns
+// the dispatch loop — dedup, caching, retry accounting, progress — and
+// drives one feeder goroutine per backend slot; the backend only has to
+// turn one sim.Options into one sim.Result.
+//
+// The default backend is the in-process pool below. internal/distrib
+// provides a remote one (an HTTP fan-out over a fleet of boworkerd
+// daemons) that satisfies this interface without this package importing
+// it; cmd/experiments wires the two together.
+//
+// Implementations must be safe for concurrent Run calls on distinct
+// slots. Slot numbers are stable for the lifetime of the backend, so an
+// implementation may use them for affinity (the remote pool homes each
+// slot on the worker that contributed it).
+type ExecBackend interface {
+	// Slots returns how many simulations the backend can execute
+	// concurrently. RunJobs never issues more than this many Run calls
+	// at once.
+	Slots() int
+	// SlotLabel names one slot for status displays ("local/3",
+	// "10.0.0.7:9123#1"). Labels are informational only.
+	SlotLabel(slot int) string
+	// Run executes one simulation to completion on the given slot.
+	Run(slot int, o sim.Options) (sim.Result, error)
+}
+
+// localBackend is the historical in-process worker pool: every slot is a
+// goroutine in this process calling sim.Run directly.
+type localBackend struct{ workers int }
+
+func (b localBackend) Slots() int {
+	if b.workers > 0 {
+		return b.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (b localBackend) SlotLabel(slot int) string { return "local/" + strconv.Itoa(slot) }
+
+func (b localBackend) Run(_ int, o sim.Options) (sim.Result, error) { return sim.Run(o) }
+
+// backend resolves the Runner's execution backend: the configured one, or
+// the in-process pool bounded by Workers.
+func (r *Runner) backend() ExecBackend {
+	if r.Backend != nil {
+		return r.Backend
+	}
+	return localBackend{workers: r.Workers}
+}

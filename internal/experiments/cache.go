@@ -97,14 +97,29 @@ func traceContentHash(path string) string {
 	return sum
 }
 
-// cacheEntry is the on-disk record format: one JSON file per completed
+// CacheEntry is the on-disk record format: one JSON file per completed
 // simulation, named <OptionsHash>.json, self-describing via the stored
-// options so a human (or a migration tool) can see what produced it.
-type cacheEntry struct {
+// options so a human (or a migration tool) can see what produced it. It
+// doubles as the wire format a distrib worker returns a finished job in —
+// the coordinator writes received entries straight into this cache.
+type CacheEntry struct {
 	Version int         `json:"version"`
 	Options sim.Options `json:"options"`
 	Result  sim.Result  `json:"result"`
 }
+
+// SchemaVersion reports the current result-cache schema version. Remote
+// workers refuse jobs from a coordinator on a different schema, since a
+// version mismatch means the simulator's behaviour (or the options
+// encoding) differs.
+func SchemaVersion() int { return resultCacheVersion }
+
+// TraceContentSHA returns the hex SHA-256 of the trace file's content
+// (memoized by size+mtime), or "" when the file cannot be read. It is the
+// identity trace replays are cache-keyed by, and what a distrib
+// coordinator sends instead of a path so workers can resolve their own
+// local copy.
+func TraceContentSHA(path string) string { return traceContentHash(path) }
 
 // diskCache persists simulation results under one directory.
 type diskCache struct{ dir string }
@@ -119,7 +134,7 @@ func (c diskCache) load(key string) (sim.Result, bool) {
 	if err != nil {
 		return sim.Result{}, false
 	}
-	var e cacheEntry
+	var e CacheEntry
 	if err := json.Unmarshal(b, &e); err != nil || e.Version != resultCacheVersion {
 		return sim.Result{}, false
 	}
@@ -133,7 +148,7 @@ func (c diskCache) store(key string, o sim.Options, res sim.Result) error {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return err
 	}
-	b, err := json.MarshalIndent(cacheEntry{resultCacheVersion, o.Normalized(), res}, "", " ")
+	b, err := json.MarshalIndent(CacheEntry{resultCacheVersion, o.Normalized(), res}, "", " ")
 	if err != nil {
 		return err
 	}

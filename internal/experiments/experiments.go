@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bopsim/internal/core"
 	"bopsim/internal/mem"
@@ -72,6 +73,16 @@ type Runner struct {
 	// Workers bounds the scheduler's worker pool; <= 0 means
 	// runtime.GOMAXPROCS(0). Table bytes are identical for any value.
 	Workers int
+	// Backend, when non-nil, executes scheduled jobs instead of the
+	// in-process pool — e.g. a distrib.Pool fanning out to remote
+	// boworkerd daemons. Workers is ignored then; the backend sizes its
+	// own concurrency. Results are cached identically either way, so
+	// table bytes do not depend on where simulations ran.
+	Backend ExecBackend
+	// MaxErrors bounds how many job failures RunJobs accumulates before
+	// it stops dispatching further jobs; <= 0 means a default of 16. The
+	// returned error joins every collected failure.
+	MaxErrors int
 	// CacheDir, when non-empty, persists every result as JSON under this
 	// directory (keyed by OptionsHash) and satisfies future runs from it.
 	CacheDir string
@@ -84,6 +95,10 @@ type Runner struct {
 	cache    map[string]sim.Result
 	logMu    sync.Mutex
 	executed atomic.Int64
+
+	statusMu sync.Mutex
+	status   ProgressStatus
+	setStart time.Time
 }
 
 // NewRunner returns a Runner with the full benchmark list and the given

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -12,12 +12,20 @@ import (
 
 // This file is the Runner's scheduler: figures enumerate the simulations
 // they need, RunJobs deduplicates that set against everything already
-// cached and executes the remainder on a bounded worker pool, and the
-// figure then assembles its table serially from the warm cache — so the
-// rendered output is byte-identical regardless of worker interleaving.
+// cached and executes the remainder on the configured ExecBackend (the
+// in-process pool by default, a distrib worker fleet when one is wired
+// in), and the figure then assembles its table serially from the warm
+// cache — so the rendered output is byte-identical regardless of backend,
+// worker count or interleaving.
 
 // runFunc executes (or replays from cache) one simulation.
 type runFunc func(sim.Options) sim.Result
+
+// defaultMaxErrors bounds how many job failures RunJobs collects before it
+// stops dispatching: enough that a sweep with a handful of bad specs
+// reports them all in one pass, small enough that a systematically broken
+// sweep doesn't burn hours failing every job.
+const defaultMaxErrors = 16
 
 // enumerationResult is what the recording stub hands back during the
 // planning pass: harmless non-zero placeholders, since speedup and
@@ -27,7 +35,7 @@ var enumerationResult = sim.Result{IPC: 1, DRAMAccessesPerKI: 1}
 
 // materialize invokes build twice: first with a recording stub to
 // enumerate every simulation the figure needs, then — after RunJobs has
-// executed the deduplicated job set on the worker pool — against the warm
+// executed the deduplicated job set on the backend — against the warm
 // cache to assemble the real table.
 func (r *Runner) materialize(build func(run runFunc) *stats.Table) *stats.Table {
 	var jobs []sim.Options
@@ -41,61 +49,83 @@ func (r *Runner) materialize(build func(run runFunc) *stats.Table) *stats.Table 
 	return build(r.run)
 }
 
-// RunJobs executes every not-yet-cached simulation in opts on the worker
-// pool and populates the Runner's caches. Duplicate entries (and entries
-// already satisfied by the in-memory cache) are skipped, so callers can
-// enumerate naively. It returns the first simulation error; on error,
-// in-flight jobs complete but no further jobs are dispatched.
+// RunJobs executes every not-yet-cached simulation in opts on the
+// execution backend and populates the Runner's caches. Duplicate entries
+// (and entries already satisfied by the in-memory cache) are skipped, so
+// callers can enumerate naively.
+//
+// Job failures are collected, not short-circuited: the returned error
+// joins every failure (errors.Join), each prefixed with the run it
+// belongs to, so a partially-failed sweep reports all its bad jobs in one
+// pass. Dispatch stops early only once MaxErrors failures (default 16)
+// have accumulated; in-flight jobs always complete.
 func (r *Runner) RunJobs(opts []sim.Options) error {
 	jobs := r.pendingJobs(opts)
 	if len(jobs) == 0 {
 		return nil
 	}
-	workers := r.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	backend := r.backend()
+	slots := backend.Slots()
+	if slots < 1 {
+		slots = 1
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if slots > len(jobs) {
+		slots = len(jobs)
+	}
+	maxErrors := r.MaxErrors
+	if maxErrors <= 0 {
+		maxErrors = defaultMaxErrors
 	}
 
 	total := len(jobs)
+	r.beginJobSet(backend, slots, total)
+	defer r.endJobSet()
+
 	var done atomic.Int64
-	var failed atomic.Bool
-	var firstErr error
 	var errMu sync.Mutex
+	var errs []error
+	tooManyErrors := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return len(errs) >= maxErrors
+	}
 	work := make(chan sim.Options)
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	for i := 0; i < slots; i++ {
+		slot := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for o := range work {
-				if _, err := r.runErr(o); err != nil {
+				r.setAssignment(slot, describeOptions(o))
+				_, err := r.runWith(o, func(o sim.Options) (sim.Result, error) {
+					return backend.Run(slot, o)
+				})
+				r.setAssignment(slot, "")
+				if err != nil {
 					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
+					errs = append(errs, fmt.Errorf("%s: %w", describeOptions(o), err))
 					errMu.Unlock()
-					failed.Store(true)
 				}
+				d := int(done.Add(1))
+				r.noteDone(d)
 				if r.Progress != nil {
-					r.Progress(int(done.Add(1)), total)
+					r.Progress(d, total)
 				}
 			}
 		}()
 	}
 	for _, o := range jobs {
-		// Stop dispatching once any job has failed: the figure is going
-		// to abort anyway, so don't burn hours finishing the sweep.
-		if failed.Load() {
+		// Stop dispatching once the failure budget is spent: the figure is
+		// going to abort anyway, so don't burn hours finishing the sweep.
+		if tooManyErrors() {
 			break
 		}
 		work <- o
 	}
 	close(work)
 	wg.Wait()
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // pendingJobs deduplicates opts by cache key and drops entries the
@@ -119,10 +149,12 @@ func (r *Runner) pendingJobs(opts []sim.Options) []sim.Options {
 	return jobs
 }
 
-// runErr executes one simulation unless a cache satisfies it: in-memory
-// first, then the on-disk cache (when CacheDir is set). Fresh results are
-// written through to both. Safe for concurrent use.
-func (r *Runner) runErr(o sim.Options) (sim.Result, error) {
+// runWith executes one simulation via exec unless a cache satisfies it:
+// in-memory first, then the on-disk cache (when CacheDir is set). Fresh
+// results are written through to both, so a result computed by a remote
+// worker lands in the shared disk cache in the same entry format a local
+// run produces. Safe for concurrent use.
+func (r *Runner) runWith(o sim.Options, exec func(sim.Options) (sim.Result, error)) (sim.Result, error) {
 	key := optionsKey(o)
 	r.mu.Lock()
 	res, ok := r.cache[key]
@@ -139,7 +171,7 @@ func (r *Runner) runErr(o sim.Options) (sim.Result, error) {
 			return res, nil
 		}
 	}
-	res, err := sim.Run(o)
+	res, err := exec(o)
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -156,6 +188,13 @@ func (r *Runner) runErr(o sim.Options) (sim.Result, error) {
 	return res, nil
 }
 
+// runErr executes one simulation in-process unless a cache satisfies it.
+// The figures' assembly pass uses it (via run) after RunJobs has warmed
+// the cache, so it normally never executes anything.
+func (r *Runner) runErr(o sim.Options) (sim.Result, error) {
+	return r.runWith(o, sim.Run)
+}
+
 // run is runErr with the historical panic-on-error contract the figure
 // builders rely on.
 func (r *Runner) run(o sim.Options) sim.Result {
@@ -166,8 +205,9 @@ func (r *Runner) run(o sim.Options) sim.Result {
 	return res
 }
 
-// Executed returns how many simulations this Runner actually ran (cache
-// hits, in memory or on disk, are not counted).
+// Executed returns how many simulations this Runner actually executed —
+// locally or on a remote backend; cache hits, in memory or on disk, are
+// not counted.
 func (r *Runner) Executed() uint64 { return uint64(r.executed.Load()) }
 
 // logf writes one progress line to r.Log, serializing concurrent workers.

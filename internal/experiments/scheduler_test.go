@@ -3,6 +3,7 @@ package experiments
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -75,11 +76,13 @@ func TestRunJobsDedup(t *testing.T) {
 	}
 }
 
-// TestRunJobsAbortsAfterFailure checks a failing job stops the dispatch of
-// the jobs queued behind it (in-flight ones still finish).
+// TestRunJobsAbortsAfterFailure checks that once the failure budget
+// (MaxErrors) is spent, dispatch of the jobs queued behind it stops
+// (in-flight ones still finish).
 func TestRunJobsAbortsAfterFailure(t *testing.T) {
 	r := tinyRunner()
 	r.Workers = 1
+	r.MaxErrors = 1
 	bad := r.options("no-such-benchmark", CoreConfig{Cores: 1, Page: mem.Page4K})
 	jobs := []sim.Options{bad}
 	for seed := uint64(1); seed <= 20; seed++ {
@@ -94,6 +97,33 @@ func TestRunJobsAbortsAfterFailure(t *testing.T) {
 	// handful that can race the flag.
 	if got := r.Executed(); got > 2 {
 		t.Errorf("executed %d queued jobs after the failure, want <= 2", got)
+	}
+}
+
+// TestRunJobsAggregatesFailures checks a partially-failed sweep reports
+// every bad job in one pass: the returned error joins all failures, each
+// prefixed with the run it belongs to, instead of surfacing only the
+// first.
+func TestRunJobsAggregatesFailures(t *testing.T) {
+	r := tinyRunner()
+	r.Workers = 2
+	jobs := []sim.Options{
+		r.options("no-such-benchmark-a", CoreConfig{Cores: 1, Page: mem.Page4K}),
+		r.options("416.gamess", CoreConfig{Cores: 1, Page: mem.Page4K}),
+		r.options("no-such-benchmark-b", CoreConfig{Cores: 1, Page: mem.Page4K}),
+	}
+	err := r.RunJobs(jobs)
+	if err == nil {
+		t.Fatal("RunJobs returned no error for two unknown benchmarks")
+	}
+	for _, want := range []string{"no-such-benchmark-a", "no-such-benchmark-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error missing failure for %s:\n%v", want, err)
+		}
+	}
+	// The good job between the bad ones still executed.
+	if got := r.Executed(); got != 1 {
+		t.Errorf("executed %d simulations, want 1 (the valid job)", got)
 	}
 }
 
