@@ -17,6 +17,7 @@
 //
 //	bosim -workload 462.libquantum -l2pf bo -page 4MB -cores 1 -n 1000000
 //	bosim -workload 433.milc -l2pf offset:d=4 -l1pf none
+//	bosim -workload 433.milc -l2pf bo -warmup 200000 -checkpoint milc.ckpt
 //	bosim -workload 429.mcf -l2pf bo:badscore=5 -progress -json
 //	bosim -workload 470.lbm -workers 10.0.0.7:9123
 //	bosim -verify -cache .simcache -verify-sample 16
@@ -52,6 +53,9 @@ func main() {
 		pf        = flag.String("pf", "", "deprecated: historical enum spelling of -l2pf (none|nextline|offset|bo|sbp)")
 		offset    = flag.Int("offset", 1, "deprecated: offset for -pf offset (use -l2pf offset:d=N)")
 		n         = flag.Uint64("n", 500_000, "instructions to retire on core 0")
+		warmup    = flag.Uint64("warmup", 0, "warmup instructions before the measured region (stats reset at the barrier)")
+		warmupPF  = flag.Bool("warmup-pf", false, "keep the configured prefetchers active through the warmup (their state crosses the barrier)")
+		ckptFile  = flag.String("checkpoint", "", "warmup snapshot file: restore from it when present, else run the warmup once and save it there")
 		l3        = flag.String("l3", "5P", "L3 replacement policy: 5P|LRU|DRRIP")
 		noStride  = flag.Bool("nostride", false, "deprecated: disable the DL1 stride prefetcher (use -l1pf none)")
 		seed      = flag.Uint64("seed", 1, "simulation seed (also seeds -verify sampling)")
@@ -112,6 +116,12 @@ func main() {
 	o.Instructions = *n
 	o.Seed = *seed
 	o.TracePath = *tracePath
+	o.Warmup = *warmup
+	o.WarmupPF = *warmupPF
+	if *ckptFile != "" && *warmup == 0 {
+		fmt.Fprintln(os.Stderr, "bosim: -checkpoint needs -warmup N (the snapshot is the warmup barrier)")
+		os.Exit(2)
+	}
 
 	if *workersCS != "" {
 		// Remote execution: the whole run happens on one worker, so there
@@ -121,7 +131,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
 			os.Exit(1)
 		}
-		r, err := pool.Run(0, o)
+		var r sim.Result
+		if sha := trace.ContentSHA(*ckptFile); *ckptFile != "" && sha != "" {
+			// Ship the snapshot's identity; a worker holding a copy forks
+			// from it, any other runs the warmup itself.
+			r, err = pool.RunFrom(0, o, *ckptFile, sha)
+		} else {
+			if *ckptFile != "" {
+				// Remote execution cannot create the snapshot: the warmup
+				// runs on the worker and its barrier state never comes back.
+				fmt.Fprintf(os.Stderr, "bosim: -checkpoint is restore-only with -workers; %s does not exist, the worker replays the warmup and no snapshot is saved (create one with a local run first)\n", *ckptFile)
+			}
+			r, err = pool.Run(0, o)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
 			os.Exit(1)
@@ -133,7 +155,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	s, err := engine.New(o)
+	s, err := buildSimulation(ctx, o, *ckptFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
 		os.Exit(1)
@@ -153,6 +175,41 @@ func main() {
 	}
 	output(s.Options(), r, interrupted, *jsonOut)
 	exitInterrupted(interrupted)
+}
+
+// buildSimulation constructs the run. With -checkpoint it restores the
+// warmup barrier from the named snapshot when the file exists; otherwise it
+// runs the warmup once, saves the snapshot there, and returns the machine
+// standing at the barrier — either way the subsequent measured region is
+// byte-identical to a straight run.
+func buildSimulation(ctx context.Context, o engine.Options, ckptFile string) (*engine.Simulation, error) {
+	if ckptFile == "" {
+		return engine.New(o)
+	}
+	if data, err := os.ReadFile(ckptFile); err == nil {
+		s, err := engine.Restore(data, o)
+		if err != nil {
+			return nil, fmt.Errorf("restoring %s: %w", ckptFile, err)
+		}
+		fmt.Fprintf(os.Stderr, "bosim: restored warmup barrier from %s (%d instructions skipped)\n", ckptFile, o.Warmup)
+		return s, nil
+	}
+	s, err := engine.New(o)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RunWarmup(ctx); err != nil {
+		return nil, err
+	}
+	snap, err := s.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.WriteSnapshot(ckptFile, snap); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "bosim: wrote warmup snapshot %s (%d KB)\n", ckptFile, len(snap)>>10)
+	return s, nil
 }
 
 // output renders one finished (or interrupted) run, local or remote.

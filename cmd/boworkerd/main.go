@@ -38,16 +38,22 @@ func main() {
 		listen    = flag.String("listen", ":9123", "address to serve the worker API on")
 		capacity  = flag.Int("capacity", runtime.GOMAXPROCS(0), "simulations to execute concurrently (advertised to the coordinator)")
 		traceDirs = flag.String("trace-dir", "", "comma-separated directories holding trace files, resolved by content hash")
+		ckptDirs  = flag.String("checkpoint-dir", "", "comma-separated directories holding warmup snapshots, resolved by content hash (trace-dir files are indexed too)")
 		verbose   = flag.Bool("v", false, "log every job")
 	)
 	flag.Parse()
 
-	var dirs []string
-	for _, d := range strings.Split(*traceDirs, ",") {
-		if d = strings.TrimSpace(d); d != "" {
-			dirs = append(dirs, d)
+	splitDirs := func(csv string) []string {
+		var out []string
+		for _, d := range strings.Split(csv, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				out = append(out, d)
+			}
 		}
+		return out
 	}
+	dirs := splitDirs(*traceDirs)
+	checkpointDirs := splitDirs(*ckptDirs)
 	var logw io.Writer
 	if *verbose {
 		logw = os.Stderr
@@ -56,8 +62,8 @@ func main() {
 	if cap <= 0 {
 		cap = runtime.GOMAXPROCS(0)
 	}
-	worker := &distrib.Server{Capacity: cap, TraceDirs: dirs, Log: logw}
-	if len(dirs) > 0 {
+	worker := &distrib.Server{Capacity: cap, TraceDirs: dirs, CheckpointDirs: checkpointDirs, Log: logw}
+	if len(dirs)+len(checkpointDirs) > 0 {
 		// Hash the corpus before serving so the first trace job doesn't
 		// pay for the scan inside its request.
 		fmt.Fprintf(os.Stderr, "boworkerd: indexed %d traces in %s\n",

@@ -47,6 +47,9 @@ func main() {
 		cacheDir = flag.String("cache", "", "persistent result-cache directory (empty: in-memory only)")
 		jsonDir  = flag.String("json", "", "also write each figure as JSON into this directory")
 
+		warmup     = flag.Uint64("warmup", 0, "warmup instructions per simulation before the measured region (stats reset at the barrier)")
+		checkpoint = flag.Bool("checkpoint", false, "share warmup across sweep variants: one checkpointed warmup leg per trace+config group (needs -warmup)")
+		ckptDir    = flag.String("checkpoint-dir", "", "warmup snapshot directory (default: <-cache>/checkpoints, or a temp directory)")
 		cacheMaxMB = flag.Int64("cache-max-mb", 0, "evict oldest cache entries past this size budget after the run (0: unbounded)")
 		workersCS  = flag.String("workers", "", "comma-separated boworkerd addresses (host:port,...) to execute simulations on instead of this process")
 		statusAddr = flag.String("status", "", "serve scheduler progress as JSON on this address (e.g. :8090) for long sweeps")
@@ -81,6 +84,13 @@ func main() {
 	r := experiments.NewRunner(*n, configs)
 	r.Workers = *jobs
 	r.CacheDir = *cacheDir
+	r.Warmup = *warmup
+	r.Checkpoint = *checkpoint
+	r.CheckpointDir = *ckptDir
+	if *checkpoint && *warmup == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -checkpoint needs -warmup N (there is no warmup to share otherwise)")
+		os.Exit(2)
+	}
 	if *workersCS != "" {
 		pool, err := distrib.Dial(strings.Split(*workersCS, ","), distrib.RetryPolicy{})
 		if err != nil {
@@ -148,6 +158,23 @@ func main() {
 		}
 	}
 
+	if *checkpoint && *ckptDir == "" && *cacheDir == "" {
+		// Snapshots have nowhere durable to live: use a private directory
+		// for this invocation and remove it on exit, so repeated sweeps
+		// don't accumulate multi-MB snapshots in the system temp dir. This
+		// sits after all flag validation so usage errors (os.Exit above)
+		// never create the directory; error exits below go through fatalf,
+		// which removes it (os.Exit skips defers).
+		dir, err := os.MkdirTemp("", "bopsim-checkpoints-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		tmpCkptDir = dir
+		r.CheckpointDir = dir
+	}
+
 	start := time.Now()
 	show := func(name string, tables ...*stats.Table) {
 		for _, tb := range tables {
@@ -165,8 +192,7 @@ func main() {
 		}
 		if *jsonDir != "" {
 			if err := writeJSON(filepath.Join(*jsonDir, name+".json"), tables); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				fatalf("experiments: %v\n", err)
 			}
 		}
 	}
@@ -227,8 +253,7 @@ func main() {
 	if *cacheDir != "" && *cacheMaxMB > 0 {
 		removed, freed, err := experiments.EvictCache(*cacheDir, *cacheMaxMB<<20)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: cache eviction: %v\n", err)
-			os.Exit(1)
+			fatalf("experiments: cache eviction: %v\n", err)
 		}
 		if removed > 0 {
 			fmt.Fprintf(os.Stderr, "cache: evicted %d oldest entries (%d KB) to stay under %d MB\n",
@@ -237,6 +262,21 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "total time: %v (%d simulations executed, -j %d)\n",
 		time.Since(start).Round(time.Millisecond), r.Executed(), *jobs)
+}
+
+// tmpCkptDir is the private fallback snapshot directory, when one was
+// created; fatalf removes it on error exits, since os.Exit skips the defer
+// that handles the normal path.
+var tmpCkptDir string
+
+// fatalf reports an error and exits 1, cleaning up the temporary snapshot
+// directory first.
+func fatalf(format string, args ...any) {
+	if tmpCkptDir != "" {
+		os.RemoveAll(tmpCkptDir)
+	}
+	fmt.Fprintf(os.Stderr, format, args...)
+	os.Exit(1)
 }
 
 // writeJSON stores one figure's tables (most figures have one; Figure 3 has

@@ -38,6 +38,11 @@ type Policy interface {
 	// Victim returns the way to evict in set; all ways are valid when it is
 	// called (the cache fills invalid ways itself).
 	Victim(set int) int
+	// SaveState serializes the policy's replacement state for a checkpoint
+	// (see state.go). RestoreState replaces it with a previously saved one,
+	// rejecting state whose shape does not match this policy instance.
+	SaveState() PolicyState
+	RestoreState(PolicyState) error
 }
 
 // Cache is a set-associative cache. It is not safe for concurrent use; the

@@ -1,0 +1,193 @@
+package cache
+
+import "fmt"
+
+// Checkpoint state for caches and replacement policies. Every struct here
+// holds only exported, fixed-order fields (no maps), so a deterministic
+// encoder (gob, JSON) produces byte-stable output: encode -> decode ->
+// encode yields identical bytes, which is what lets snapshots be
+// content-addressed by SHA-256.
+
+// State is the full serialized state of one Cache: the line metadata, the
+// hit/miss counters and the replacement policy's state.
+type State struct {
+	Lines    []Line
+	Hits     uint64
+	Misses   uint64
+	Evicts   uint64
+	PrefHits uint64
+	Policy   PolicyState
+}
+
+// PolicyState is the union of every in-tree policy's replacement state; the
+// Name field says which policy wrote it and which fields are meaningful.
+// LRU/BIP/5P use the stamp fields, DRRIP uses RRPV/PSel, BIP/DRRIP/5P carry
+// their random stream, and 5P adds the two proportional-counter banks.
+type PolicyState struct {
+	Name      string
+	Stamps    []uint64
+	Clock     uint64
+	Rand      uint64
+	RRPV      []uint8
+	PSel      int
+	PolicySel []uint32
+	CoreMiss  []uint32
+}
+
+// SaveState serializes the cache's lines, counters and policy state.
+func (c *Cache) SaveState() State {
+	return State{
+		Lines:    append([]Line(nil), c.lines...),
+		Hits:     c.Hits,
+		Misses:   c.Misses,
+		Evicts:   c.Evicts,
+		PrefHits: c.PrefHits,
+		Policy:   c.policy.SaveState(),
+	}
+}
+
+// RestoreState replaces the cache's contents with a previously saved state.
+// The state must come from a cache of identical geometry and policy.
+func (c *Cache) RestoreState(s State) error {
+	if len(s.Lines) != len(c.lines) {
+		return fmt.Errorf("cache %s: state has %d lines, cache holds %d", c.name, len(s.Lines), len(c.lines))
+	}
+	if err := c.policy.RestoreState(s.Policy); err != nil {
+		return fmt.Errorf("cache %s: %w", c.name, err)
+	}
+	copy(c.lines, s.Lines)
+	c.Hits, c.Misses, c.Evicts, c.PrefHits = s.Hits, s.Misses, s.Evicts, s.PrefHits
+	return nil
+}
+
+// ResetStats clears the hit/miss counters without touching the cached lines
+// or the replacement state (the warmup barrier uses it: the warmed contents
+// stay, the measured region's counters start at zero).
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses, c.Evicts, c.PrefHits = 0, 0, 0, 0
+}
+
+// save/restore serialize the stamp machinery shared by LRU, BIP and 5P.
+func (s *lruState) save(name string) PolicyState {
+	return PolicyState{Name: name, Stamps: append([]uint64(nil), s.stamps...), Clock: s.clock}
+}
+
+func (s *lruState) restore(st PolicyState) error {
+	if len(st.Stamps) != len(s.stamps) {
+		return fmt.Errorf("policy %s: state has %d stamps, policy holds %d", st.Name, len(st.Stamps), len(s.stamps))
+	}
+	copy(s.stamps, st.Stamps)
+	s.clock = st.Clock
+	return nil
+}
+
+func checkPolicyName(st PolicyState, want string) error {
+	if st.Name != want {
+		return fmt.Errorf("policy state is %q, want %q", st.Name, want)
+	}
+	return nil
+}
+
+// SaveState implements Policy.
+func (p *LRU) SaveState() PolicyState { return p.state.save("LRU") }
+
+// RestoreState implements Policy.
+func (p *LRU) RestoreState(st PolicyState) error {
+	if err := checkPolicyName(st, "LRU"); err != nil {
+		return err
+	}
+	return p.state.restore(st)
+}
+
+// SaveState implements Policy.
+func (p *BIP) SaveState() PolicyState {
+	st := p.state.save("BIP")
+	st.Rand = p.rand.State()
+	return st
+}
+
+// RestoreState implements Policy.
+func (p *BIP) RestoreState(st PolicyState) error {
+	if err := checkPolicyName(st, "BIP"); err != nil {
+		return err
+	}
+	if err := p.state.restore(st); err != nil {
+		return err
+	}
+	p.rand.SetState(st.Rand)
+	return nil
+}
+
+// SaveState implements Policy.
+func (d *DRRIP) SaveState() PolicyState {
+	return PolicyState{
+		Name: "DRRIP",
+		RRPV: append([]uint8(nil), d.rrpv...),
+		PSel: d.psel,
+		Rand: d.rand.State(),
+	}
+}
+
+// RestoreState implements Policy.
+func (d *DRRIP) RestoreState(st PolicyState) error {
+	if err := checkPolicyName(st, "DRRIP"); err != nil {
+		return err
+	}
+	if len(st.RRPV) != len(d.rrpv) {
+		return fmt.Errorf("DRRIP: state has %d RRPVs, policy holds %d", len(st.RRPV), len(d.rrpv))
+	}
+	if st.PSel < 0 || st.PSel > d.pselMax {
+		return fmt.Errorf("DRRIP: PSEL %d out of range 0..%d", st.PSel, d.pselMax)
+	}
+	copy(d.rrpv, st.RRPV)
+	d.psel = st.PSel
+	d.rand.SetState(st.Rand)
+	return nil
+}
+
+// SaveState implements Policy.
+func (p *FiveP) SaveState() PolicyState {
+	st := p.state.save("5P")
+	st.Rand = p.rand.State()
+	st.PolicySel = p.policySel.SaveState()
+	st.CoreMiss = p.coreMiss.SaveState()
+	return st
+}
+
+// RestoreState implements Policy.
+func (p *FiveP) RestoreState(st PolicyState) error {
+	if err := checkPolicyName(st, "5P"); err != nil {
+		return err
+	}
+	if err := p.state.restore(st); err != nil {
+		return err
+	}
+	if err := p.policySel.RestoreState(st.PolicySel); err != nil {
+		return fmt.Errorf("5P policy counters: %w", err)
+	}
+	if err := p.coreMiss.RestoreState(st.CoreMiss); err != nil {
+		return fmt.Errorf("5P core-miss counters: %w", err)
+	}
+	p.rand.SetState(st.Rand)
+	return nil
+}
+
+// SaveState serializes the counter bank.
+func (p *PropCounters) SaveState() []uint32 {
+	return append([]uint32(nil), p.counters...)
+}
+
+// RestoreState replaces the counters with a previously saved bank of the
+// same shape.
+func (p *PropCounters) RestoreState(counters []uint32) error {
+	if len(counters) != len(p.counters) {
+		return fmt.Errorf("prop counters: state has %d counters, bank holds %d", len(counters), len(p.counters))
+	}
+	for _, v := range counters {
+		if v > p.max {
+			return fmt.Errorf("prop counters: value %d exceeds maximum %d", v, p.max)
+		}
+	}
+	copy(p.counters, counters)
+	return nil
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"bopsim/internal/mem"
+)
+
+// gobRoundTrip encodes v, decodes into out, re-encodes the decoded value
+// and checks the two encodings are byte-identical (the property snapshot
+// content-addressing relies on).
+func gobRoundTrip(t *testing.T, v any, out any) {
+	t.Helper()
+	var a bytes.Buffer
+	if err := gob.NewEncoder(&a).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(a.Bytes())).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(reflect.ValueOf(out).Elem().Interface()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("encode -> decode -> encode is not byte-stable")
+	}
+}
+
+// TestCacheStateRoundTrip drives a cache under each policy, saves its
+// state, round-trips the encoding, restores into a fresh cache and checks
+// the restored state (and future behaviour) matches the original.
+func TestCacheStateRoundTrip(t *testing.T) {
+	const sets, ways = 16, 4
+	mkPolicy := map[string]func() Policy{
+		"LRU":   func() Policy { return NewLRU(sets, ways) },
+		"BIP":   func() Policy { return NewBIP(sets, ways, 7) },
+		"DRRIP": func() Policy { return NewDRRIP(sets, ways, 7) },
+		"5P":    func() Policy { return NewFiveP(sets, ways, 2, 7) },
+	}
+	for name, mk := range mkPolicy {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			c := New("t", sets*ways*mem.LineSize, ways, mk())
+			for i := 0; i < 500; i++ {
+				l := mem.LineAddr(i * 3)
+				if c.Lookup(l) == nil {
+					c.Insert(l, InsertInfo{Core: i % 2, IsPrefetch: i%5 == 0})
+				}
+			}
+			st := c.SaveState()
+			var decoded State
+			gobRoundTrip(t, st, &decoded)
+
+			fresh := New("t", sets*ways*mem.LineSize, ways, mk())
+			if err := fresh.RestoreState(decoded); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fresh.SaveState(), st) {
+				t.Fatal("restored cache state differs from saved state")
+			}
+			// Behavioural equality: the same access sequence must produce
+			// the same victims and counters on both caches.
+			for i := 500; i < 800; i++ {
+				l := mem.LineAddr(i * 3)
+				a, b := c.Lookup(l), fresh.Lookup(l)
+				if (a == nil) != (b == nil) {
+					t.Fatalf("lookup %d diverged after restore", i)
+				}
+				if a == nil {
+					c.Insert(l, InsertInfo{Core: i % 2})
+					fresh.Insert(l, InsertInfo{Core: i % 2})
+				}
+			}
+			if !reflect.DeepEqual(fresh.SaveState(), c.SaveState()) {
+				t.Fatal("restored cache diverged from original under identical traffic")
+			}
+		})
+	}
+}
+
+// TestCacheRestoreRejectsMismatch checks geometry and policy mismatches
+// fail instead of silently corrupting state.
+func TestCacheRestoreRejectsMismatch(t *testing.T) {
+	c := New("t", 16*4*mem.LineSize, 4, NewLRU(16, 4))
+	st := c.SaveState()
+
+	smaller := New("t", 8*4*mem.LineSize, 4, NewLRU(8, 4))
+	if err := smaller.RestoreState(st); err == nil {
+		t.Error("restore into smaller cache succeeded")
+	}
+	otherPolicy := New("t", 16*4*mem.LineSize, 4, NewDRRIP(16, 4, 1))
+	if err := otherPolicy.RestoreState(st); err == nil {
+		t.Error("restore of LRU state into DRRIP policy succeeded")
+	}
+	bad := st
+	bad.Policy.Stamps = bad.Policy.Stamps[:1]
+	if err := New("t", 16*4*mem.LineSize, 4, NewLRU(16, 4)).RestoreState(bad); err == nil {
+		t.Error("restore with truncated stamps succeeded")
+	}
+}
+
+// TestPropCountersRoundTrip checks the counter bank's save/restore and its
+// bounds checking.
+func TestPropCountersRoundTrip(t *testing.T) {
+	p := NewPropCounters(4, 7)
+	for i := 0; i < 300; i++ {
+		p.Inc(i % 3)
+	}
+	st := p.SaveState()
+	fresh := NewPropCounters(4, 7)
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.SaveState(), st) {
+		t.Fatal("restored counters differ")
+	}
+	if err := fresh.RestoreState([]uint32{1}); err == nil {
+		t.Error("restore with wrong counter count succeeded")
+	}
+	if err := fresh.RestoreState([]uint32{1 << 20, 0, 0, 0}); err == nil {
+		t.Error("restore with out-of-range counter succeeded")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"bopsim/internal/prefetch"
+)
+
+var _ prefetch.StateCodec = (*Prefetcher)(nil)
+
+// boState mirrors the BO prefetcher's learning state with exported fields
+// for the prefetch.StateCodec encoding.
+type boState struct {
+	RRTags  []uint16
+	RRValid []bool
+
+	Scores    []int
+	OffIdx    int
+	Round     int
+	BestIdx   int
+	BestScore int
+
+	D  int
+	D2 int
+	On bool
+
+	ScoreEWMA   int
+	DynBadScore int
+
+	Stats Stats
+}
+
+// SaveState implements prefetch.StateCodec.
+func (p *Prefetcher) SaveState() ([]byte, error) {
+	return prefetch.MarshalState(boState{
+		RRTags:      append([]uint16(nil), p.rr.tags...),
+		RRValid:     append([]bool(nil), p.rr.valid...),
+		Scores:      append([]int(nil), p.scores...),
+		OffIdx:      p.offIdx,
+		Round:       p.round,
+		BestIdx:     p.bestIdx,
+		BestScore:   p.bestScore,
+		D:           p.d,
+		D2:          p.d2,
+		On:          p.on,
+		ScoreEWMA:   p.scoreEWMA,
+		DynBadScore: p.dynBadScore,
+		Stats:       p.stats,
+	})
+}
+
+// RestoreState implements prefetch.StateCodec.
+func (p *Prefetcher) RestoreState(data []byte) error {
+	var st boState
+	if err := prefetch.UnmarshalState(data, &st); err != nil {
+		return err
+	}
+	if len(st.RRTags) != len(p.rr.tags) || len(st.RRValid) != len(p.rr.valid) {
+		return fmt.Errorf("core: RR state covers %d/%d entries, table has %d", len(st.RRTags), len(st.RRValid), len(p.rr.tags))
+	}
+	if len(st.Scores) != len(p.scores) {
+		return fmt.Errorf("core: state has %d scores, prefetcher tests %d offsets", len(st.Scores), len(p.scores))
+	}
+	if st.OffIdx < 0 || st.OffIdx >= len(p.params.Offsets) {
+		return fmt.Errorf("core: offset cursor %d out of range 0..%d", st.OffIdx, len(p.params.Offsets)-1)
+	}
+	if st.BestIdx < 0 || st.BestIdx >= len(p.params.Offsets) {
+		return fmt.Errorf("core: best-offset index %d out of range 0..%d", st.BestIdx, len(p.params.Offsets)-1)
+	}
+	copy(p.rr.tags, st.RRTags)
+	copy(p.rr.valid, st.RRValid)
+	copy(p.scores, st.Scores)
+	p.offIdx = st.OffIdx
+	p.round = st.Round
+	p.bestIdx = st.BestIdx
+	p.bestScore = st.BestScore
+	p.d = st.D
+	p.d2 = st.D2
+	p.on = st.On
+	p.scoreEWMA = st.ScoreEWMA
+	p.dynBadScore = st.DynBadScore
+	p.stats = st.Stats
+	return nil
+}

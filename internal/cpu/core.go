@@ -9,6 +9,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"bopsim/internal/dram"
 	"bopsim/internal/mem"
 	"bopsim/internal/trace"
@@ -52,6 +54,7 @@ type Core struct {
 
 	rob     []*robEntry
 	waiting []*robEntry // dispatched loads not yet issued (dep or MSHR full)
+	paused  bool        // dispatch frozen (warmup-barrier drain)
 
 	lastLoad *robEntry // most recent load, for DepPrevLoad chaining
 	pending  *trace.Inst
@@ -122,6 +125,9 @@ func (c *Core) issueWaiting(now uint64) {
 }
 
 func (c *Core) dispatch(now uint64) {
+	if c.paused {
+		return
+	}
 	for n := 0; n < c.cfg.DispatchWidth; n++ {
 		if len(c.rob) >= c.cfg.ROBSize {
 			return
@@ -172,3 +178,74 @@ func (c *Core) dispatch(now uint64) {
 
 // ROBOccupancy returns the current reorder-buffer fill, for tests.
 func (c *Core) ROBOccupancy() int { return len(c.rob) }
+
+// SetPaused freezes (true) or resumes (false) instruction dispatch. A
+// paused core still retires and issues already-dispatched work, so running
+// a paused machine drains its in-flight state — the warmup barrier pauses
+// every core, waits for the pipeline and the uncore to run dry, and only
+// then considers the machine checkpointable.
+func (c *Core) SetPaused(p bool) { c.paused = p }
+
+// Quiesced reports whether the core has no in-flight instructions: the ROB
+// and the issue-waiting list are empty. A fetched-but-undispatched
+// instruction (Pending in the state below) does not count — it is pure
+// cursor state.
+func (c *Core) Quiesced() bool { return len(c.rob) == 0 && len(c.waiting) == 0 }
+
+// ClearDepChain drops the pointer-chase dependence anchor. The barrier
+// calls it after the drain: every in-flight load has retired, so the anchor
+// can only be a completed load — behaviourally identical to nil — and
+// clearing it makes the drained state literally equal to a restored one.
+func (c *Core) ClearDepChain() { c.lastLoad = nil }
+
+// State is the serialized state of a quiesced core: its counters, the
+// fetched-but-undispatched instruction (if any) and the generator cursor.
+type State struct {
+	Retired           uint64
+	DispatchStallMSHR uint64
+	Pending           *trace.Inst
+	Gen               trace.GenState
+}
+
+// SaveState serializes the core. It reports an error when the core still
+// has in-flight instructions (callers must drain first) or when its
+// generator cannot be checkpointed.
+func (c *Core) SaveState() (State, error) {
+	if !c.Quiesced() {
+		return State{}, fmt.Errorf("cpu: core %d has in-flight instructions, cannot checkpoint", c.ID)
+	}
+	sg, ok := c.gen.(trace.StatefulGenerator)
+	if !ok {
+		return State{}, fmt.Errorf("cpu: core %d generator %s does not support checkpointing", c.ID, c.gen.Name())
+	}
+	st := State{Retired: c.Retired, DispatchStallMSHR: c.DispatchStallMSHR, Gen: sg.SaveGenState()}
+	if c.pending != nil {
+		p := *c.pending
+		st.Pending = &p
+	}
+	return st, nil
+}
+
+// RestoreState replaces a freshly constructed core's state with a
+// previously saved one.
+func (c *Core) RestoreState(st State) error {
+	if !c.Quiesced() {
+		return fmt.Errorf("cpu: core %d has in-flight instructions, cannot restore", c.ID)
+	}
+	sg, ok := c.gen.(trace.StatefulGenerator)
+	if !ok {
+		return fmt.Errorf("cpu: core %d generator %s does not support checkpointing", c.ID, c.gen.Name())
+	}
+	if err := sg.RestoreGenState(st.Gen); err != nil {
+		return fmt.Errorf("cpu: core %d: %w", c.ID, err)
+	}
+	c.Retired = st.Retired
+	c.DispatchStallMSHR = st.DispatchStallMSHR
+	c.pending = nil
+	if st.Pending != nil {
+		p := *st.Pending
+		c.pending = &p
+	}
+	c.lastLoad = nil
+	return nil
+}

@@ -374,3 +374,66 @@ func TestDialRejectsBadFleet(t *testing.T) {
 		t.Error("Dial to a schema-skewed worker succeeded")
 	}
 }
+
+// TestCheckpointedRemoteSweep checks warmup sharing end to end over the
+// wire: the coordinator runs the warmup legs locally, ships each job with
+// its snapshot's content hash, and a worker holding the snapshot forks
+// from it — rendering byte-identical tables to a serial, uncheckpointed
+// sweep. A second fleet *without* the snapshots must also match: a worker
+// that cannot resolve a CheckpointSHA runs the warmup itself.
+func TestCheckpointedRemoteSweep(t *testing.T) {
+	serial := tinyRunner()
+	serial.Instructions = 20_000
+	serial.Warmup = 15_000
+	want := serial.Fig6().String()
+
+	ckptDir := t.TempDir()
+	runRemote := func(worker *httptest.Server) string {
+		r := tinyRunner()
+		r.Instructions = 20_000
+		r.Warmup = 15_000
+		r.Checkpoint = true
+		r.CheckpointDir = ckptDir
+		pool, err := Dial([]string{worker.Listener.Addr().String()}, RetryPolicy{Backoff: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Backend = pool
+		return r.Fig6().String()
+	}
+
+	// Worker with the snapshot directory mounted: resolves CheckpointSHA.
+	withSnaps, c1 := startWorker(t, 2, ckptDir)
+	if got := runRemote(withSnaps); got != want {
+		t.Errorf("checkpointed remote sweep diverged from serial\nserial:\n%s\nremote:\n%s", want, got)
+	}
+	if c1.runs.Load() == 0 {
+		t.Error("no jobs executed on the snapshot-holding worker")
+	}
+
+	// Worker with no access to the snapshots: CheckpointSHA is advisory,
+	// so it replays warmups itself and must still match byte for byte.
+	bare, c2 := startWorker(t, 2)
+	r2 := tinyRunner()
+	r2.Instructions = 20_000
+	r2.Warmup = 15_000
+	r2.Seed = 3 // fresh cache keys so jobs really re-execute
+	serial2 := tinyRunner()
+	serial2.Instructions = 20_000
+	serial2.Warmup = 15_000
+	serial2.Seed = 3
+	want2 := serial2.Fig6().String()
+	r2.Checkpoint = true
+	r2.CheckpointDir = t.TempDir() // legs created here; worker can't see it
+	pool, err := Dial([]string{bare.Listener.Addr().String()}, RetryPolicy{Backoff: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Backend = pool
+	if got := r2.Fig6().String(); got != want2 {
+		t.Errorf("remote sweep with unresolvable snapshots diverged\nserial:\n%s\nremote:\n%s", want2, got)
+	}
+	if c2.runs.Load() == 0 {
+		t.Error("no jobs executed on the snapshot-less worker")
+	}
+}

@@ -66,7 +66,10 @@ type worker struct {
 // Pool implements experiments.ExecBackend (checked below) without the
 // experiments package knowing this package exists; cmd/experiments wires
 // the two together.
-var _ experiments.ExecBackend = (*Pool)(nil)
+var (
+	_ experiments.ExecBackend       = (*Pool)(nil)
+	_ experiments.CheckpointBackend = (*Pool)(nil)
+)
 
 // Pool fans the scheduler's jobs out to a fleet of workers. It satisfies
 // experiments.ExecBackend: every capacity unit a worker advertises
@@ -201,6 +204,24 @@ func (p *Pool) Run(slot int, o sim.Options) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
+	return p.runJob(slot, job)
+}
+
+// RunFrom implements experiments.CheckpointBackend: the job ships the
+// warmup snapshot's content hash (never its bytes — the same transfer
+// model as traces) and each worker resolves it against its own indexed
+// directories, falling back to running the warmup itself when it has no
+// copy. Either way the result bytes are those of Run.
+func (p *Pool) RunFrom(slot int, o sim.Options, _ string, checkpointSHA string) (sim.Result, error) {
+	job, err := makeJob(o)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	job.CheckpointSHA = checkpointSHA
+	return p.runJob(slot, job)
+}
+
+func (p *Pool) runJob(slot int, job Job) (sim.Result, error) {
 	lost := 0
 	noTrace := make(map[*worker]bool)
 	var lastErr error

@@ -29,7 +29,10 @@ import (
 
 // ProtocolVersion is bumped on incompatible changes to the endpoints or
 // payload schemas below. A worker refuses jobs from a different protocol.
-const ProtocolVersion = 1
+//
+// v2: Job gained CheckpointSHA (warmup snapshots shipped by content hash,
+// like traces) and Options gained the Warmup/WarmupPF fields.
+const ProtocolVersion = 2
 
 // MaxJobBytes bounds a /v1/run request body. A legitimate job is a few
 // hundred bytes of JSON (options are value types; traces travel by hash),
@@ -58,6 +61,14 @@ type Job struct {
 	// TraceSHA, when non-empty, identifies the trace file to replay by
 	// content hash; the worker resolves it in its own trace directories.
 	TraceSHA string `json:"trace_sha,omitempty"`
+	// CheckpointSHA, when non-empty, identifies a warmup snapshot
+	// (engine.Checkpoint bytes) by content hash. The worker resolves it in
+	// its trace/checkpoint directories and forks the measured region from
+	// it. Unlike TraceSHA this is advisory: a worker without the snapshot
+	// (or with an unusable one) runs the warmup itself — the engine's
+	// determinism guarantee makes the result byte-identical — so a missing
+	// checkpoint degrades throughput, never correctness.
+	CheckpointSHA string `json:"checkpoint_sha,omitempty"`
 }
 
 // Info is the /v1/info response: the worker's advertisement.

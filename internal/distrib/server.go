@@ -33,6 +33,11 @@ type Server struct {
 	// content SHA-256 and the server indexes these directories to find a
 	// matching file.
 	TraceDirs []string
+	// CheckpointDirs are additional directories indexed the same way for
+	// warmup snapshots (jobs name them by CheckpointSHA). Snapshots
+	// dropped into TraceDirs are found too — the index is shared — so a
+	// fleet with one mounted artifact directory needs no extra flag.
+	CheckpointDirs []string
 	// Log, when non-nil, receives one line per job.
 	Log io.Writer
 
@@ -131,6 +136,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var ckptPath string
+	if job.CheckpointSHA != "" {
+		// Advisory: a missing or unusable snapshot means this worker runs
+		// the warmup itself, byte-identically.
+		ckptPath, _ = s.lookupTrace(job.CheckpointSHA)
+	}
 	release := s.acquire()
 	defer release()
 	s.logf("run %s key=%.12s\n", o.Workload, job.Key)
@@ -138,7 +149,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// goes away (killed sweep, retry-after-truncated-response), the
 	// orphaned job aborts instead of burning a capacity slot on a result
 	// nobody will read.
-	res, err := runJob(r.Context(), o)
+	res, err := runJob(r.Context(), o, ckptPath)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			s.logf("abandoned %s (coordinator gone)\n", o.Workload)
@@ -157,8 +168,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob executes one simulation, honouring ctx cancellation via the
-// steppable engine.
-func runJob(ctx context.Context, o sim.Options) (sim.Result, error) {
+// steppable engine. With a resolvable warmup checkpoint it forks the
+// measured region from the snapshot; any failure on that path falls back
+// to the full run, which the engine's determinism guarantee makes
+// byte-identical.
+func runJob(ctx context.Context, o sim.Options, ckptPath string) (sim.Result, error) {
+	if ckptPath != "" {
+		if data, err := os.ReadFile(ckptPath); err == nil {
+			if eng, err := engine.Restore(data, o); err == nil {
+				return eng.Run(ctx)
+			}
+		}
+	}
 	eng, err := engine.New(o)
 	if err != nil {
 		return sim.Result{}, err
@@ -218,7 +239,7 @@ func (s *Server) WarmTraceIndex() int {
 func (s *Server) rescanTracesLocked() {
 	s.lastTraceScan = time.Now()
 	s.traceIndex = make(map[string]string)
-	for _, dir := range s.TraceDirs {
+	for _, dir := range append(append([]string(nil), s.TraceDirs...), s.CheckpointDirs...) {
 		files, err := filepath.Glob(filepath.Join(dir, "*"))
 		if err != nil {
 			continue

@@ -1,0 +1,319 @@
+// Checkpoint/restore for engine.Simulation.
+//
+// A checkpoint is taken at the warmup barrier, where the machine is drained
+// dry: no in-flight requests, no futures, no ROB entries — only persistent
+// state (cache contents and replacement state, TLB residency, DRAM bank
+// registers, generator cursors, random streams, and — under WarmupPF —
+// each prefetcher's learned state via prefetch.StateCodec). That is what
+// makes the format tractable and the restore provably exact: Restore
+// rebuilds the machine from the same options and overwrites precisely the
+// state the barrier defines.
+//
+// Snapshot layout:
+//
+//	magic    [8]byte  "BOCKPT01"
+//	version  uint32   big endian, SnapshotVersion
+//	payload  gob      one snapshot struct
+//
+// Snapshots are addressed by the SHA-256 of their full bytes (the same
+// identity scheme as trace files; see trace.ContentSHA), and every snapshot
+// embeds its warmup signature — the canonical encoding of every option that
+// influenced the warmup leg — which Restore checks against the target
+// options, so a snapshot can never be restored into a run it did not warm.
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bopsim/internal/cpu"
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+	"bopsim/internal/trace"
+	"bopsim/internal/uncore"
+)
+
+// SnapshotVersion is bumped whenever the snapshot payload schema or any
+// serialized component's state layout changes incompatibly. Restore refuses
+// other versions: a version skew means the two binaries disagree about what
+// the bytes mean.
+const SnapshotVersion = 1
+
+// snapshotMagic begins every snapshot.
+const snapshotMagic = "BOCKPT01"
+
+// maxSnapshotBytes bounds what Restore will even look at. A real snapshot
+// is a few MB (the L3's line metadata dominates); anything beyond this is
+// malformed or hostile.
+const maxSnapshotBytes = 1 << 28
+
+// snapshot is the gob payload.
+type snapshot struct {
+	// Sig is the producing run's warmup signature (WarmupSignature).
+	Sig string
+	// Cycles is the absolute cycle count at the barrier.
+	Cycles uint64
+	// Cores holds each core's drained state, index-aligned with the
+	// machine's cores.
+	Cores []cpu.State
+	// Uncore is the drained hierarchy state.
+	Uncore uncore.State
+	// L2PF/L1PF hold each core's prefetcher state (prefetch.StateCodec
+	// bytes), populated only for WarmupPF snapshots. A nil entry means
+	// "construct fresh at the barrier" — the shared-warmup case.
+	L2PF [][]byte
+	L1PF [][]byte
+}
+
+// warmupSig is the canonical identity of a warmup leg: every normalized
+// option that influences machine state up to the barrier. Instructions and
+// MaxCycles are post-barrier knobs and deliberately absent; the prefetcher
+// specs participate only under WarmupPF (otherwise the warmup runs without
+// prefetching and is shared across specs). Trace replays are identified by
+// content, not path, so a worker's local copy signs identically.
+type warmupSig struct {
+	Version     int
+	Workload    string
+	TraceSHA    string `json:",omitempty"`
+	Cores       int
+	Page        mem.PageSize
+	L3Policy    string
+	LatePromote bool
+	Seed        uint64
+	CPU         cpu.Config
+	Warmup      uint64
+	WarmupPF    bool
+	L2PF        string `json:",omitempty"`
+	L1PF        string `json:",omitempty"`
+}
+
+// WarmupSignature returns the canonical string identifying this run's
+// warmup leg. Two runs with equal signatures warm identical machines, so
+// they can share one checkpoint; the experiment scheduler groups sweep
+// variants by exactly this value. It reports an error when the options name
+// a trace file that cannot be read.
+func (o Options) WarmupSignature() (string, error) {
+	o = o.Normalized()
+	sig := warmupSig{
+		Version:     SnapshotVersion,
+		Workload:    o.Workload,
+		Cores:       o.Cores,
+		Page:        o.Page,
+		L3Policy:    o.L3Policy,
+		LatePromote: o.LatePromote,
+		Seed:        o.Seed,
+		CPU:         o.CPU,
+		Warmup:      o.Warmup,
+		WarmupPF:    o.WarmupPF,
+	}
+	if o.TracePath != "" {
+		sha := trace.ContentSHA(o.TracePath)
+		if sha == "" {
+			return "", fmt.Errorf("engine: trace %s unreadable, cannot compute warmup signature", o.TracePath)
+		}
+		sig.TraceSHA = sha
+	}
+	if o.WarmupPF {
+		sig.L2PF = o.L2PF.String()
+		sig.L1PF = o.L1PF.String()
+	}
+	b, err := json.Marshal(sig)
+	if err != nil {
+		return "", fmt.Errorf("engine: encoding warmup signature: %v", err)
+	}
+	return string(b), nil
+}
+
+// Checkpoint serializes the simulation's state at the warmup barrier. It is
+// only valid when AtBarrier reports true (after RunWarmup, before any
+// measured cycle); any other point has in-flight state the format cannot
+// carry, and Checkpoint reports an error rather than guessing.
+func (s *Simulation) Checkpoint() ([]byte, error) {
+	if !s.AtBarrier() {
+		return nil, fmt.Errorf("engine: Checkpoint is only valid at the warmup barrier (call RunWarmup first)")
+	}
+	sig, err := s.opts.WarmupSignature()
+	if err != nil {
+		return nil, err
+	}
+	snap := snapshot{Sig: sig, Cycles: s.now}
+	for _, c := range s.cores {
+		cs, err := c.SaveState()
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		snap.Cores = append(snap.Cores, cs)
+	}
+	if snap.Uncore, err = s.hier.SaveState(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if s.opts.WarmupPF {
+		// The prefetchers ran through the warmup: their learned state must
+		// cross the checkpoint, so each must speak prefetch.StateCodec.
+		for c := 0; c < s.opts.Cores; c++ {
+			l2 := s.hier.L2Prefetcher(c)
+			codec, ok := l2.(prefetch.StateCodec)
+			if !ok {
+				return nil, fmt.Errorf("engine: L2 prefetcher %q does not implement prefetch.StateCodec, cannot checkpoint WarmupPF state", l2.Name())
+			}
+			b, err := codec.SaveState()
+			if err != nil {
+				return nil, fmt.Errorf("engine: saving L2 prefetcher state: %w", err)
+			}
+			snap.L2PF = append(snap.L2PF, b)
+			var l1b []byte
+			if l1 := s.hier.L1Prefetcher(c); l1 != nil {
+				codec, ok := l1.(prefetch.StateCodec)
+				if !ok {
+					return nil, fmt.Errorf("engine: L1 prefetcher %q does not implement prefetch.StateCodec, cannot checkpoint WarmupPF state", l1.Name())
+				}
+				if l1b, err = codec.SaveState(); err != nil {
+					return nil, fmt.Errorf("engine: saving L1 prefetcher state: %w", err)
+				}
+			}
+			snap.L1PF = append(snap.L1PF, l1b)
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	if err := binary.Write(&buf, binary.BigEndian, uint32(SnapshotVersion)); err != nil {
+		return nil, err
+	}
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("engine: encoding snapshot: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSnapshot validates the container and decodes the payload. It never
+// panics: structural damage gob might trip over is converted to an error,
+// which is what lets corrupted or truncated snapshots fail safely (see
+// FuzzRestore).
+func decodeSnapshot(data []byte) (snap snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: malformed snapshot: %v", r)
+		}
+	}()
+	if len(data) > maxSnapshotBytes {
+		return snapshot{}, fmt.Errorf("engine: snapshot of %d bytes exceeds the %d-byte limit", len(data), maxSnapshotBytes)
+	}
+	if len(data) < len(snapshotMagic)+4 {
+		return snapshot{}, fmt.Errorf("engine: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return snapshot{}, fmt.Errorf("engine: not a snapshot (bad magic %q)", data[:len(snapshotMagic)])
+	}
+	version := binary.BigEndian.Uint32(data[len(snapshotMagic):])
+	if version != SnapshotVersion {
+		return snapshot{}, fmt.Errorf("engine: snapshot version %d, this binary speaks %d", version, SnapshotVersion)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(data[len(snapshotMagic)+4:]))
+	if err := dec.Decode(&snap); err != nil {
+		return snapshot{}, fmt.Errorf("engine: decoding snapshot: %v", err)
+	}
+	return snap, nil
+}
+
+// Restore builds a Simulation for o positioned exactly at the warmup
+// barrier recorded in the snapshot, so running it to completion produces
+// byte-identical results to running o from scratch (warmup included). The
+// snapshot must carry the same warmup signature as o — same workload/trace
+// content, core count, page size, seed, warmup length and (under WarmupPF)
+// prefetcher specs. Corrupted, truncated or version-skewed snapshots are
+// rejected with an error; partial state is never installed.
+func Restore(data []byte, o Options) (*Simulation, error) {
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := o.WarmupSignature()
+	if err != nil {
+		return nil, err
+	}
+	if sig != snap.Sig {
+		return nil, fmt.Errorf("engine: snapshot warms a different run (signature %s, options need %s)", snap.Sig, sig)
+	}
+	s, err := build(o, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Cores) != len(s.cores) {
+		return nil, fmt.Errorf("engine: snapshot covers %d cores, options need %d", len(snap.Cores), len(s.cores))
+	}
+	for i, c := range s.cores {
+		if err := c.RestoreState(snap.Cores[i]); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	if err := s.hier.RestoreState(snap.Uncore); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if s.opts.WarmupPF {
+		if len(snap.L2PF) != len(s.cores) || len(snap.L1PF) != len(s.cores) {
+			return nil, fmt.Errorf("engine: snapshot carries prefetcher state for %d/%d cores, options need %d",
+				len(snap.L2PF), len(snap.L1PF), len(s.cores))
+		}
+		for c := 0; c < len(s.cores); c++ {
+			if err := restorePFState(s.hier.L2Prefetcher(c), snap.L2PF[c]); err != nil {
+				return nil, fmt.Errorf("engine: core %d L2 prefetcher: %w", c, err)
+			}
+			l1 := s.hier.L1Prefetcher(c)
+			if l1 == nil {
+				if len(snap.L1PF[c]) != 0 {
+					return nil, fmt.Errorf("engine: core %d has no L1 prefetcher but the snapshot carries state for one", c)
+				}
+				continue
+			}
+			if err := restorePFState(l1, snap.L1PF[c]); err != nil {
+				return nil, fmt.Errorf("engine: core %d L1 prefetcher: %w", c, err)
+			}
+		}
+	}
+	s.now = snap.Cycles
+	s.startCycles = s.now
+	s.startRetired = s.cores[0].Retired
+	s.atBarrier = true
+	return s, nil
+}
+
+// restorePFState feeds saved codec bytes into a freshly constructed
+// prefetcher.
+func restorePFState(pf any, state []byte) error {
+	codec, ok := pf.(prefetch.StateCodec)
+	if !ok {
+		return fmt.Errorf("does not implement prefetch.StateCodec")
+	}
+	return codec.RestoreState(state)
+}
+
+// WriteSnapshot stores snapshot bytes at path atomically (temp file +
+// rename in the destination directory), so a concurrent reader — parallel
+// sweeps sharing a checkpoint directory, parallel bosim invocations
+// sharing one snapshot file — never observes a torn write.
+func WriteSnapshot(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

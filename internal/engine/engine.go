@@ -60,6 +60,29 @@ type Options struct {
 	CPU          cpu.Config
 	// MaxCycles aborts a wedged simulation; 0 means a generous default.
 	MaxCycles uint64
+
+	// Warmup, when non-zero, prepends a warmup region to the run: core 0
+	// retires this many instructions first, then every core's dispatch is
+	// frozen until the whole machine drains dry, all statistics are reset,
+	// and the measured region (Instructions more retirements) begins at
+	// that barrier. The barrier is where Checkpoint/Restore operate: the
+	// drained machine has no in-flight requests, so its state is exactly
+	// the warmed caches, TLBs, DRAM rows and generator cursors.
+	//
+	// Unless WarmupPF is set, the warmup region runs with both prefetchers
+	// disabled and the configured ones are installed — cold — at the
+	// barrier. That makes the warmup leg independent of the prefetcher
+	// specs, which is what lets a sweep share one warmup checkpoint across
+	// all its prefetcher variants (see experiments.Runner.Checkpoint).
+	//
+	// The JSON tags keep zero values out of the encoding so cache keys of
+	// warmupless runs are unchanged from before this field existed.
+	Warmup uint64 `json:",omitempty"`
+	// WarmupPF keeps the configured prefetchers active through the warmup
+	// region. Their learned state then crosses the barrier (and is carried
+	// in checkpoints via prefetch.StateCodec), at the cost of making the
+	// warmup leg specific to the exact prefetcher specs.
+	WarmupPF bool `json:",omitempty"`
 }
 
 // DefaultOptions returns a 1-core, 4KB-page run of the named workload with
@@ -111,7 +134,14 @@ func (o Options) Normalized() Options {
 		o.L3Policy = "5P"
 	}
 	if o.MaxCycles == 0 {
-		o.MaxCycles = o.Instructions * 400 // IPC floor of 1/400 before declaring a wedge
+		// IPC floor of 1/400 before declaring a wedge, covering the warmup
+		// region too.
+		o.MaxCycles = (o.Instructions + o.Warmup) * 400
+	}
+	if o.Warmup == 0 {
+		// Without a warmup region WarmupPF is inert; clearing it keeps the
+		// two spellings of the same run on one cache key.
+		o.WarmupPF = false
 	}
 	return o
 }
@@ -134,6 +164,19 @@ type Result struct {
 	FinalBOOffset int
 }
 
+// phase is where the run currently is in its warmup/measure lifecycle.
+type phase int
+
+const (
+	// phaseWarmup: retiring the warmup region (Warmup instructions).
+	phaseWarmup phase = iota
+	// phaseDrain: dispatch frozen, in-flight work running dry.
+	phaseDrain
+	// phaseMeasure: the measured region (Instructions retirements past the
+	// barrier marks).
+	phaseMeasure
+)
+
 // Simulation is one constructed run: the assembled cores and uncore plus
 // the clock. It is not safe for concurrent use; run many Simulations in
 // parallel instead (they share no state).
@@ -143,11 +186,31 @@ type Simulation struct {
 	cores []*cpu.Core
 	now   uint64
 	err   error // sticky wedge error
+
+	phase phase
+	// startCycles/startRetired mark where the measured region began (the
+	// warmup barrier; zero for warmupless runs). Snapshot reports deltas
+	// from these marks.
+	startCycles  uint64
+	startRetired uint64
+	// atBarrier is true exactly at the warmup barrier: the machine is
+	// drained and no measured cycle has executed yet. Checkpoint is only
+	// valid then.
+	atBarrier bool
 }
 
 // New validates the options and assembles the machine. The returned
-// Simulation has executed zero cycles.
+// Simulation has executed zero cycles. With Options.Warmup set, the run
+// starts in the warmup phase; see RunWarmup and Checkpoint.
 func New(o Options) (*Simulation, error) {
+	return build(o, false)
+}
+
+// build assembles the machine. restored builds directly in the measured
+// phase with the configured prefetchers installed (Restore overwrites the
+// clock and barrier marks afterwards); otherwise a warmup run starts in
+// phaseWarmup, with prefetching disabled unless WarmupPF.
+func build(o Options, restored bool) (*Simulation, error) {
 	if o.Cores < 1 || o.Cores > 4 {
 		return nil, fmt.Errorf("engine: %d active cores unsupported (want 1, 2 or 4)", o.Cores)
 	}
@@ -167,16 +230,13 @@ func New(o Options) (*Simulation, error) {
 	ucfg.LatePromotion = o.LatePromote
 	ucfg.Seed = o.Seed
 
-	hier := uncore.New(ucfg,
-		func(int) prefetch.L2Prefetcher {
-			p, _ := prefetch.NewL2(o.L2PF, o.Page)
-			return p
-		},
-		func(int) prefetch.L1Prefetcher {
-			p, _ := prefetch.NewL1(o.L1PF, o.Page)
-			return p
-		},
-		nil)
+	l2f, l1f := prefetcherFactories(o)
+	if o.Warmup > 0 && !o.WarmupPF && !restored {
+		// The warmup region runs without prefetching; the barrier installs
+		// the configured prefetchers via SetPrefetchers.
+		l2f, l1f = nil, nil
+	}
+	hier := uncore.New(ucfg, l2f, l1f, nil)
 
 	var gen trace.Generator
 	var err error
@@ -192,14 +252,38 @@ func New(o Options) (*Simulation, error) {
 	for i := 1; i < o.Cores; i++ {
 		cores = append(cores, cpu.New(i, o.CPU, hier, trace.NewThrasher(o.Seed+uint64(i)*7919)))
 	}
-	return &Simulation{opts: o, hier: hier, cores: cores}, nil
+	s := &Simulation{opts: o, hier: hier, cores: cores}
+	if o.Warmup > 0 && !restored {
+		s.phase = phaseWarmup
+	} else {
+		s.phase = phaseMeasure
+		s.atBarrier = true
+	}
+	return s, nil
+}
+
+// prefetcherFactories returns the per-core constructors for the configured
+// (measured-region) prefetchers. Spec validation happened in build, so the
+// constructions cannot fail.
+func prefetcherFactories(o Options) (func(int) prefetch.L2Prefetcher, func(int) prefetch.L1Prefetcher) {
+	return func(int) prefetch.L2Prefetcher {
+			p, _ := prefetch.NewL2(o.L2PF, o.Page)
+			return p
+		},
+		func(int) prefetch.L1Prefetcher {
+			p, _ := prefetch.NewL1(o.L1PF, o.Page)
+			return p
+		}
 }
 
 // Options returns the normalized options the simulation was built from.
 func (s *Simulation) Options() Options { return s.opts }
 
-// Done reports whether core 0 has retired the requested instruction count.
-func (s *Simulation) Done() bool { return s.cores[0].Retired >= s.opts.Instructions }
+// Done reports whether core 0 has retired the requested instruction count
+// in the measured region (i.e. past the warmup barrier, if any).
+func (s *Simulation) Done() bool {
+	return s.phase == phaseMeasure && s.cores[0].Retired >= s.startRetired+s.opts.Instructions
+}
 
 // Cycles returns the number of cycles executed so far.
 func (s *Simulation) Cycles() uint64 { return s.now }
@@ -208,9 +292,10 @@ func (s *Simulation) Cycles() uint64 { return s.now }
 func (s *Simulation) Retired() uint64 { return s.cores[0].Retired }
 
 // Step advances the simulation by up to n cycles, stopping early when the
-// run completes. It returns whether the run is done. A wedged simulation
-// (MaxCycles exceeded without completing) returns an error, and the error
-// is sticky: every later Step and Run reports it again.
+// run completes or the warmup barrier is reached (so callers can intervene
+// there — see Checkpoint). It returns whether the run is done. A wedged
+// simulation (MaxCycles exceeded without completing) returns an error, and
+// the error is sticky: every later Step and Run reports it again.
 func (s *Simulation) Step(n uint64) (done bool, err error) {
 	if s.err != nil {
 		return false, s.err
@@ -224,13 +309,86 @@ func (s *Simulation) Step(n uint64) (done bool, err error) {
 		}
 		s.hier.Tick(s.now)
 		s.now++
+		s.atBarrier = false
 		if s.now >= s.opts.MaxCycles && !s.Done() {
 			s.err = fmt.Errorf("engine: %s wedged after %d cycles (%d/%d instructions)",
-				s.opts.Workload, s.now, s.cores[0].Retired, s.opts.Instructions)
+				s.opts.Workload, s.now, s.cores[0].Retired, s.startRetired+s.opts.Instructions)
 			return false, s.err
+		}
+		switch s.phase {
+		case phaseWarmup:
+			if s.cores[0].Retired >= s.opts.Warmup {
+				// Warmup retired: freeze dispatch everywhere and let the
+				// machine run dry.
+				s.phase = phaseDrain
+				for _, c := range s.cores {
+					c.SetPaused(true)
+				}
+			}
+		case phaseDrain:
+			if s.quiesced() {
+				s.barrier()
+				// Stop at the barrier: the caller may checkpoint here, and
+				// Run simply calls Step again.
+				return s.Done(), nil
+			}
 		}
 	}
 	return s.Done(), nil
+}
+
+// quiesced reports whether every core's pipeline and the whole uncore are
+// empty of in-flight work.
+func (s *Simulation) quiesced() bool {
+	for _, c := range s.cores {
+		if !c.Quiesced() {
+			return false
+		}
+	}
+	return s.hier.Drained()
+}
+
+// barrier transitions the drained machine into the measured region: the
+// dependence anchors are cleared (every load has retired), the configured
+// prefetchers are installed unless they ran through the warmup (WarmupPF),
+// all statistics reset, and the barrier marks are recorded. Both the
+// straight path and Restore produce exactly this state, which is what makes
+// checkpointed runs byte-identical to uncheckpointed ones.
+func (s *Simulation) barrier() {
+	for _, c := range s.cores {
+		c.ClearDepChain()
+		c.SetPaused(false)
+	}
+	if !s.opts.WarmupPF {
+		l2f, l1f := prefetcherFactories(s.opts)
+		s.hier.SetPrefetchers(l2f, l1f)
+	}
+	s.hier.ResetStats()
+	s.phase = phaseMeasure
+	s.startCycles = s.now
+	s.startRetired = s.cores[0].Retired
+	s.atBarrier = true
+}
+
+// AtBarrier reports whether the simulation sits exactly at the warmup
+// barrier: drained, statistics reset, and no measured cycle executed yet.
+// This is the only point Checkpoint accepts.
+func (s *Simulation) AtBarrier() bool { return s.atBarrier && s.err == nil }
+
+// RunWarmup drives the simulation to the warmup barrier, checking ctx
+// between quanta. It returns immediately for a run without warmup (a fresh
+// machine is trivially at its barrier). After it returns, Checkpoint may be
+// called, and Run (or Step) continues into the measured region.
+func (s *Simulation) RunWarmup(ctx context.Context) error {
+	for s.phase != phaseMeasure {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := s.Step(runQuantum); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runQuantum is how many cycles Run executes between context checks: small
@@ -258,20 +416,24 @@ func (s *Simulation) Run(ctx context.Context) (Result, error) {
 
 // Snapshot computes the measurements at the current cycle. It is valid at
 // any point of the run, including before the first Step and after a
-// cancelled Run.
+// cancelled Run. With a warmup region, cycles and instructions are deltas
+// from the barrier (statistics were reset there), so a warmed run reports
+// the measured region only.
 func (s *Simulation) Snapshot() Result {
+	cycles := s.now - s.startCycles
+	retired := s.cores[0].Retired - s.startRetired
 	res := Result{
 		Workload:     s.opts.Workload,
-		Cycles:       s.now,
-		Instructions: s.cores[0].Retired,
+		Cycles:       cycles,
+		Instructions: retired,
 		Hier:         s.hier.Stats(),
 		DRAM:         s.hier.Memory().TotalStats(),
 	}
-	if s.now > 0 {
-		res.IPC = float64(s.cores[0].Retired) / float64(s.now)
+	if cycles > 0 {
+		res.IPC = float64(retired) / float64(cycles)
 	}
-	if s.cores[0].Retired > 0 {
-		res.DRAMAccessesPerKI = float64(s.hier.Memory().Accesses()) / float64(s.cores[0].Retired) * 1000
+	if retired > 0 {
+		res.DRAMAccessesPerKI = float64(s.hier.Memory().Accesses()) / float64(retired) * 1000
 	}
 	if bo, ok := s.hier.L2Prefetcher(0).(*core.Prefetcher); ok {
 		st := bo.Stats()

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"os"
 	"runtime"
 	"strconv"
 
+	"bopsim/internal/engine"
 	"bopsim/internal/sim"
 )
 
@@ -33,9 +36,22 @@ type ExecBackend interface {
 	Run(slot int, o sim.Options) (sim.Result, error)
 }
 
+// CheckpointBackend is optionally implemented by backends that can fork a
+// run from a warmup checkpoint instead of replaying the warmup. The
+// checkpoint is identified both by a local path (the coordinator's copy)
+// and by its content SHA-256 (what a remote worker resolves against its
+// own directories). Implementations fall back to a full run whenever the
+// snapshot cannot be used — a checkpoint is an optimization, never a
+// correctness dependency — so RunFrom must return exactly what Run would.
+type CheckpointBackend interface {
+	RunFrom(slot int, o sim.Options, checkpointPath, checkpointSHA string) (sim.Result, error)
+}
+
 // localBackend is the historical in-process worker pool: every slot is a
 // goroutine in this process calling sim.Run directly.
 type localBackend struct{ workers int }
+
+var _ CheckpointBackend = localBackend{}
 
 func (b localBackend) Slots() int {
 	if b.workers > 0 {
@@ -47,6 +63,22 @@ func (b localBackend) Slots() int {
 func (b localBackend) SlotLabel(slot int) string { return "local/" + strconv.Itoa(slot) }
 
 func (b localBackend) Run(_ int, o sim.Options) (sim.Result, error) { return sim.Run(o) }
+
+// RunFrom implements CheckpointBackend: restore the snapshot and run the
+// measured region. Any problem with the snapshot — unreadable, corrupt,
+// version-skewed, signed for a different warmup — falls back to the full
+// run, which the engine's determinism guarantee makes byte-identical.
+func (b localBackend) RunFrom(_ int, o sim.Options, checkpointPath, _ string) (sim.Result, error) {
+	data, err := os.ReadFile(checkpointPath)
+	if err != nil {
+		return sim.Run(o)
+	}
+	s, err := engine.Restore(data, o)
+	if err != nil {
+		return sim.Run(o)
+	}
+	return s.Run(context.Background())
+}
 
 // backend resolves the Runner's execution backend: the configured one, or
 // the in-process pool bounded by Workers.

@@ -5,13 +5,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
 
 	"bopsim/internal/sim"
+	"bopsim/internal/trace"
 )
 
 // resultCacheVersion is bumped whenever the simulator's behaviour or the
@@ -59,43 +58,9 @@ func OptionsHash(o sim.Options) string {
 // runs differing in any outcome-affecting field never alias.
 func optionsKey(o sim.Options) string { return OptionsHash(o) }
 
-// traceHashEntry memoizes one trace file's content hash, invalidated when
-// size or mtime changes — a sweep hashes each trace once, not once per
-// scheduled job.
-type traceHashEntry struct {
-	size  int64
-	mtime int64
-	hash  string
-}
-
-var traceHashes sync.Map // path -> traceHashEntry
-
-// traceContentHash returns the hex SHA-256 of the file's content, or ""
-// when the file cannot be read.
-func traceContentHash(path string) string {
-	st, err := os.Stat(path)
-	if err != nil {
-		return ""
-	}
-	if e, ok := traceHashes.Load(path); ok {
-		ent := e.(traceHashEntry)
-		if ent.size == st.Size() && ent.mtime == st.ModTime().UnixNano() {
-			return ent.hash
-		}
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return ""
-	}
-	defer f.Close()
-	h := sha256.New()
-	if _, err := io.Copy(h, f); err != nil {
-		return ""
-	}
-	sum := hex.EncodeToString(h.Sum(nil))
-	traceHashes.Store(path, traceHashEntry{size: st.Size(), mtime: st.ModTime().UnixNano(), hash: sum})
-	return sum
-}
+// traceContentHash returns the hex SHA-256 of the file's content (memoized
+// by size+mtime in internal/trace), or "" when the file cannot be read.
+func traceContentHash(path string) string { return trace.ContentSHA(path) }
 
 // CacheEntry is the on-disk record format: one JSON file per completed
 // simulation, named <OptionsHash>.json, self-describing via the stored

@@ -86,6 +86,24 @@ type Runner struct {
 	// CacheDir, when non-empty, persists every result as JSON under this
 	// directory (keyed by OptionsHash) and satisfies future runs from it.
 	CacheDir string
+	// Warmup, when non-zero, gives every scheduled run a warmup region of
+	// this many instructions (engine.Options.Warmup): caches, TLBs and
+	// DRAM state warm up first, statistics reset at the barrier, and only
+	// the measured region is reported.
+	Warmup uint64
+	// Checkpoint enables warmup sharing: pending jobs are grouped by
+	// warmup-equivalence key (WarmupKey — everything that shapes the
+	// machine up to the barrier, excluding the swept prefetcher specs),
+	// each group's warmup leg runs once and is checkpointed under
+	// CheckpointDir, and every variant forks from the snapshot. Results
+	// are byte-identical with or without it; it only removes redundant
+	// warmup work. Requires Warmup > 0 to have any effect.
+	Checkpoint bool
+	// CheckpointDir is where warmup snapshots are cached (content-
+	// addressed, one .ckpt per warmup group). Empty means a directory
+	// named "checkpoints" under CacheDir, or a temporary one when CacheDir
+	// is empty too.
+	CheckpointDir string
 	// Progress, when non-nil, is called after each scheduled job finishes
 	// with (completed, total) for the current job set. It is called from
 	// worker goroutines and must be safe for concurrent use.
@@ -95,6 +113,11 @@ type Runner struct {
 	cache    map[string]sim.Result
 	logMu    sync.Mutex
 	executed atomic.Int64
+
+	// ckptTmp is the lazily created private fallback snapshot directory
+	// (see checkpointDir).
+	ckptTmpOnce sync.Once
+	ckptTmp     string
 
 	statusMu sync.Mutex
 	status   ProgressStatus
@@ -120,6 +143,7 @@ func (r *Runner) options(wl string, cc CoreConfig) sim.Options {
 	o.Page = cc.Page
 	o.Instructions = r.Instructions
 	o.Seed = r.Seed
+	o.Warmup = r.Warmup
 	return o
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -64,6 +65,12 @@ func (r *Runner) RunJobs(opts []sim.Options) error {
 	if len(jobs) == 0 {
 		return nil
 	}
+	// Warmup sharing: each warmup group's leg is created lazily by the
+	// first of its jobs to dispatch, and every variant forks from the
+	// snapshot instead of replaying the warmup. Jobs whose group has no
+	// usable checkpoint simply run straight — identical bytes, just
+	// slower.
+	ckpts := r.checkpointResolver()
 	backend := r.backend()
 	slots := backend.Slots()
 	if slots < 1 {
@@ -99,7 +106,7 @@ func (r *Runner) RunJobs(opts []sim.Options) error {
 			for o := range work {
 				r.setAssignment(slot, describeOptions(o))
 				_, err := r.runWith(o, func(o sim.Options) (sim.Result, error) {
-					return backend.Run(slot, o)
+					return r.execOnBackend(backend, slot, o, ckpts)
 				})
 				r.setAssignment(slot, "")
 				if err != nil {
@@ -128,13 +135,34 @@ func (r *Runner) RunJobs(opts []sim.Options) error {
 	return errors.Join(errs...)
 }
 
-// pendingJobs deduplicates opts by cache key and drops entries the
-// in-memory cache already satisfies, preserving first-appearance order.
+// execOnBackend runs one job on the backend, forking from its warmup
+// group's checkpoint when one can be resolved and the backend supports it.
+func (r *Runner) execOnBackend(backend ExecBackend, slot int, o sim.Options, ckpts *ckptResolver) (sim.Result, error) {
+	if ckpts != nil {
+		if cb, ok := backend.(CheckpointBackend); ok {
+			if ref, ok := ckpts.resolve(o); ok {
+				return cb.RunFrom(slot, o, ref.path, ref.sha)
+			}
+		}
+	}
+	return backend.Run(slot, o)
+}
+
+// pendingJobs deduplicates opts by cache key and drops entries either
+// cache already satisfies, preserving first-appearance order. Probing the
+// disk cache here (not just per-job in runWith) matters for warmup
+// sharing: a fully disk-cached rerun must schedule nothing, so
+// prepareCheckpoints never pays a warmup leg for a group with no real work
+// left. Disk hits are promoted into the in-memory cache, exactly as
+// runWith would have done.
 func (r *Runner) pendingJobs(opts []sim.Options) []sim.Options {
+	type pending struct {
+		o   sim.Options
+		key string
+	}
 	seen := make(map[string]bool, len(opts))
-	var jobs []sim.Options
+	var maybe []pending
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, o := range opts {
 		k := optionsKey(o)
 		if seen[k] {
@@ -144,7 +172,46 @@ func (r *Runner) pendingJobs(opts []sim.Options) []sim.Options {
 		if _, ok := r.cache[k]; ok {
 			continue
 		}
-		jobs = append(jobs, o)
+		maybe = append(maybe, pending{o: o, key: k})
+	}
+	r.mu.Unlock()
+	if r.CacheDir == "" || len(maybe) == 0 {
+		jobs := make([]sim.Options, len(maybe))
+		for i, p := range maybe {
+			jobs[i] = p.o
+		}
+		return jobs
+	}
+	// Probe the disk cache concurrently — a mostly-cached rerun of a large
+	// sweep would otherwise spend its startup in one goroutine's serial
+	// read+decode loop — then apply the hits in input order so log lines
+	// and the resulting job list stay deterministic.
+	hits := make([]*sim.Result, len(maybe))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range maybe {
+		i, key := i, p.key
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if res, ok := (diskCache{r.CacheDir}).load(key); ok {
+				hits[i] = &res
+			}
+		}()
+	}
+	wg.Wait()
+	var jobs []sim.Options
+	for i, p := range maybe {
+		if res := hits[i]; res != nil {
+			r.mu.Lock()
+			r.cache[p.key] = *res
+			r.mu.Unlock()
+			r.logf("  load %-55s IPC=%.3f\n", describeOptions(p.o), res.IPC)
+			continue
+		}
+		jobs = append(jobs, p.o)
 	}
 	return jobs
 }
@@ -226,6 +293,10 @@ func (r *Runner) logf(format string, args ...any) {
 // the old enum-era description had to special-case.
 func describeOptions(o sim.Options) string {
 	o = o.Normalized()
-	return fmt.Sprintf("%s|%d-core/%s|%s|%s|l1=%s|n=%d|seed=%d",
+	d := fmt.Sprintf("%s|%d-core/%s|%s|%s|l1=%s|n=%d|seed=%d",
 		o.Workload, o.Cores, o.Page, o.L2PF, o.L3Policy, o.L1PF, o.Instructions, o.Seed)
+	if o.Warmup > 0 {
+		d += fmt.Sprintf("|w=%d", o.Warmup)
+	}
+	return d
 }

@@ -193,6 +193,8 @@ func TestOptionsKeyComplete(t *testing.T) {
 		"Workload":     func(o *sim.Options) { o.Workload = "470.lbm" },
 		"CPU":          func(o *sim.Options) { o.CPU.ROBSize = 128 },
 		"Offset d":     func(o *sim.Options) { o.L2PF = sim.PFOffsetD(3) },
+		"Warmup":       func(o *sim.Options) { o.Warmup = 10_000 },
+		"WarmupPF":     func(o *sim.Options) { o.Warmup = 10_000; o.WarmupPF = true },
 	}
 	baseKey := optionsKey(base)
 	for field, mutate := range mutations {

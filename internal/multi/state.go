@@ -1,0 +1,60 @@
+package multi
+
+import (
+	"fmt"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+)
+
+var _ prefetch.StateCodec = (*Prefetcher)(nil)
+
+// multiState mirrors the prefetcher's audit state.
+type multiState struct {
+	Recent  []uint64
+	Scores  []int
+	Enabled []bool
+	Count   int
+	Stats   Stats
+}
+
+// SaveState implements prefetch.StateCodec.
+func (p *Prefetcher) SaveState() ([]byte, error) {
+	st := multiState{
+		Recent:  make([]uint64, len(p.recent)),
+		Scores:  append([]int(nil), p.scores...),
+		Enabled: append([]bool(nil), p.enabled...),
+		Count:   p.count,
+		Stats:   p.stats,
+	}
+	for i, l := range p.recent {
+		st.Recent[i] = uint64(l)
+	}
+	return prefetch.MarshalState(st)
+}
+
+// RestoreState implements prefetch.StateCodec.
+func (p *Prefetcher) RestoreState(data []byte) error {
+	var st multiState
+	if err := prefetch.UnmarshalState(data, &st); err != nil {
+		return err
+	}
+	if len(st.Recent) != len(p.recent) {
+		return fmt.Errorf("multi: state recent table has %d slots, prefetcher has %d", len(st.Recent), len(p.recent))
+	}
+	if len(st.Scores) != len(p.scores) || len(st.Enabled) != len(p.enabled) {
+		return fmt.Errorf("multi: state covers %d/%d offsets, prefetcher has %d",
+			len(st.Scores), len(st.Enabled), len(p.scores))
+	}
+	if st.Count < 0 || st.Count >= p.params.Period {
+		return fmt.Errorf("multi: window count %d out of range 0..%d", st.Count, p.params.Period-1)
+	}
+	for i, l := range st.Recent {
+		p.recent[i] = mem.LineAddr(l)
+	}
+	copy(p.scores, st.Scores)
+	copy(p.enabled, st.Enabled)
+	p.count = st.Count
+	p.stats = st.Stats
+	return nil
+}

@@ -1,0 +1,74 @@
+package prefetch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// StateCodec is optionally implemented by registered prefetchers whose
+// internal state can be serialized for checkpoint/restore. The engine uses
+// it when a warmup region runs with the prefetchers active (WarmupPF): the
+// checkpoint then carries each prefetcher's learned state, and a restored
+// simulation continues learning exactly where the original left off.
+//
+// A prefetcher that does not implement StateCodec can still be restored
+// from a checkpoint whose warmup ran with prefetching disabled (the shared
+// warmup case) — it is simply constructed fresh at the barrier — but the
+// engine refuses to checkpoint live state it cannot serialize.
+//
+// Encoded state must be deterministic: encoding the same state twice yields
+// identical bytes (snapshots are content-addressed by SHA-256), and
+// RestoreState must reject malformed or mismatched bytes with an error,
+// never panic.
+type StateCodec interface {
+	// SaveState serializes the prefetcher's internal state.
+	SaveState() ([]byte, error)
+	// RestoreState replaces the prefetcher's state with previously saved
+	// bytes. The prefetcher must have been constructed from the same spec.
+	RestoreState([]byte) error
+}
+
+// MarshalState is the shared helper prefetcher codecs encode their exported
+// state-mirror structs with: JSON, whose struct encoding is byte-stable
+// (fixed field order, no map iteration).
+func MarshalState(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// UnmarshalState is the strict decoding counterpart of MarshalState:
+// unknown fields are rejected, so truncated or version-skewed state fails
+// loudly instead of silently restoring partial state.
+func UnmarshalState(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("prefetch: decoding state: %w", err)
+	}
+	return nil
+}
+
+// Stateless prefetchers implement StateCodec trivially so every in-tree
+// registration is checkpointable under WarmupPF.
+
+// SaveState implements StateCodec: None has no state.
+func (None) SaveState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements StateCodec.
+func (None) RestoreState(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("prefetch: none carries no state, got %d bytes", len(data))
+	}
+	return nil
+}
+
+// SaveState implements StateCodec: a fixed-offset prefetcher has no state.
+func (p *FixedOffset) SaveState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements StateCodec.
+func (p *FixedOffset) RestoreState(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("prefetch: %s carries no state, got %d bytes", p.name, len(data))
+	}
+	return nil
+}

@@ -37,3 +37,11 @@ func (s *Stream) Float64() float64 {
 
 // OneIn reports true with probability 1/n.
 func (s *Stream) OneIn(n int) bool { return s.Intn(n) == 0 }
+
+// State returns the stream's internal state, for checkpointing. A stream
+// restored with SetState produces exactly the sequence the original would
+// have produced from this point on.
+func (s *Stream) State() uint64 { return s.state }
+
+// SetState replaces the stream's internal state with a previously saved one.
+func (s *Stream) SetState(state uint64) { s.state = state }

@@ -1,0 +1,75 @@
+package sbp
+
+import (
+	"fmt"
+
+	"bopsim/internal/prefetch"
+)
+
+var _ prefetch.StateCodec = (*Prefetcher)(nil)
+
+// activeState mirrors activeOffset with exported fields.
+type activeState struct {
+	Offset int
+	Degree int
+	Score  int
+}
+
+// sbpState mirrors the prefetcher's sandbox and evaluation state.
+type sbpState struct {
+	Bloom       []uint64
+	CandIdx     int
+	AccessCount int
+	Scores      []int
+	Active      []activeState
+	Stats       Stats
+}
+
+// SaveState implements prefetch.StateCodec.
+func (p *Prefetcher) SaveState() ([]byte, error) {
+	st := sbpState{
+		Bloom:       append([]uint64(nil), p.bloom.words...),
+		CandIdx:     p.candIdx,
+		AccessCount: p.accessCount,
+		Scores:      append([]int(nil), p.scores...),
+		Stats:       p.stats,
+	}
+	for _, a := range p.active {
+		st.Active = append(st.Active, activeState{Offset: a.offset, Degree: a.degree, Score: a.score})
+	}
+	return prefetch.MarshalState(st)
+}
+
+// RestoreState implements prefetch.StateCodec.
+func (p *Prefetcher) RestoreState(data []byte) error {
+	var st sbpState
+	if err := prefetch.UnmarshalState(data, &st); err != nil {
+		return err
+	}
+	if len(st.Bloom) != len(p.bloom.words) {
+		return fmt.Errorf("sbp: state sandbox has %d words, filter has %d", len(st.Bloom), len(p.bloom.words))
+	}
+	if len(st.Scores) != len(p.scores) {
+		return fmt.Errorf("sbp: state has %d scores, prefetcher tests %d offsets", len(st.Scores), len(p.scores))
+	}
+	if st.CandIdx < 0 || st.CandIdx >= len(p.params.Offsets) {
+		return fmt.Errorf("sbp: candidate cursor %d out of range 0..%d", st.CandIdx, len(p.params.Offsets)-1)
+	}
+	if st.AccessCount < 0 || st.AccessCount >= p.params.Period {
+		return fmt.Errorf("sbp: access count %d out of range 0..%d", st.AccessCount, p.params.Period-1)
+	}
+	active := make([]activeOffset, 0, len(st.Active))
+	for i, a := range st.Active {
+		if a.Degree < 1 || a.Degree > 3 {
+			return fmt.Errorf("sbp: active offset %d has degree %d, want 1..3", i, a.Degree)
+		}
+		active = append(active, activeOffset{offset: a.Offset, degree: a.Degree, score: a.Score})
+	}
+	copy(p.bloom.words, st.Bloom)
+	copy(p.scores, st.Scores)
+	p.candIdx = st.CandIdx
+	p.accessCount = st.AccessCount
+	p.active = active
+	p.stats = st.Stats
+	return nil
+}

@@ -1,0 +1,86 @@
+package stride
+
+import (
+	"fmt"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+)
+
+var _ prefetch.StateCodec = (*Prefetcher)(nil)
+
+// entryState mirrors entry with exported fields.
+type entryState struct {
+	PC       uint64
+	LastAddr uint64
+	Stride   int64
+	Conf     int
+	LRU      uint64
+	Valid    bool
+}
+
+// strideState mirrors the prefetcher's table, filter and counters.
+type strideState struct {
+	Entries   []entryState
+	Clock     uint64
+	Filter    []uint64
+	FilterAge []uint64
+	FilterLen int
+	Stats     Stats
+}
+
+// SaveState implements prefetch.StateCodec.
+func (p *Prefetcher) SaveState() ([]byte, error) {
+	st := strideState{
+		Clock:     p.clock,
+		Filter:    make([]uint64, FilterEntries),
+		FilterAge: append([]uint64(nil), p.filterAge[:]...),
+		FilterLen: p.filterLen,
+		Stats:     p.stats,
+	}
+	for i := range p.entries {
+		e := &p.entries[i]
+		st.Entries = append(st.Entries, entryState{
+			PC: e.pc, LastAddr: uint64(e.lastAddr), Stride: e.stride,
+			Conf: e.conf, LRU: e.lru, Valid: e.valid,
+		})
+	}
+	for i, l := range p.filter {
+		st.Filter[i] = uint64(l)
+	}
+	return prefetch.MarshalState(st)
+}
+
+// RestoreState implements prefetch.StateCodec.
+func (p *Prefetcher) RestoreState(data []byte) error {
+	var st strideState
+	if err := prefetch.UnmarshalState(data, &st); err != nil {
+		return err
+	}
+	if len(st.Entries) != TableEntries {
+		return fmt.Errorf("stride: state has %d table entries, want %d", len(st.Entries), TableEntries)
+	}
+	if len(st.Filter) != FilterEntries || len(st.FilterAge) != FilterEntries {
+		return fmt.Errorf("stride: state filter covers %d/%d entries, want %d", len(st.Filter), len(st.FilterAge), FilterEntries)
+	}
+	if st.FilterLen < 0 || st.FilterLen > FilterEntries {
+		return fmt.Errorf("stride: filter length %d out of range 0..%d", st.FilterLen, FilterEntries)
+	}
+	for i, es := range st.Entries {
+		if es.Conf < 0 || es.Conf > ConfidenceMax {
+			return fmt.Errorf("stride: entry %d confidence %d out of range 0..%d", i, es.Conf, ConfidenceMax)
+		}
+		p.entries[i] = entry{
+			pc: es.PC, lastAddr: mem.Addr(es.LastAddr), stride: es.Stride,
+			conf: es.Conf, lru: es.LRU, valid: es.Valid,
+		}
+	}
+	for i, l := range st.Filter {
+		p.filter[i] = mem.LineAddr(l)
+	}
+	copy(p.filterAge[:], st.FilterAge)
+	p.filterLen = st.FilterLen
+	p.clock = st.Clock
+	p.stats = st.Stats
+	return nil
+}

@@ -10,7 +10,12 @@
 // (section 5.5).
 package tlb
 
-import "bopsim/internal/mem"
+import (
+	"fmt"
+	"sort"
+
+	"bopsim/internal/mem"
+)
 
 // Latencies added to a memory access on the corresponding TLB outcome, in
 // core cycles. A DTLB1 hit is folded into the DL1 access latency.
@@ -117,3 +122,79 @@ func (h *Hierarchy) DTLB1Misses() uint64 { return h.dtlb1.misses }
 
 // TLB2Misses returns the number of TLB2 misses observed.
 func (h *Hierarchy) TLB2Misses() uint64 { return h.tlb2.misses }
+
+// LevelState is one TLB level's serialized contents: the resident VPNs with
+// their LRU stamps (sorted by VPN so encoding is byte-stable — the live
+// structure is a map) plus the level's clock and counters.
+type LevelState struct {
+	VPNs   []uint64
+	Stamps []uint64
+	Clock  uint64
+	Hits   uint64
+	Misses uint64
+}
+
+// State is the serialized state of one TLB hierarchy.
+type State struct {
+	DTLB1 LevelState
+	TLB2  LevelState
+	Walks uint64
+}
+
+func (t *tlbLevel) saveState() LevelState {
+	vpns := make([]uint64, 0, len(t.stamps))
+	for v := range t.stamps {
+		vpns = append(vpns, v)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	st := LevelState{VPNs: vpns, Stamps: make([]uint64, len(vpns)),
+		Clock: t.clock, Hits: t.hits, Misses: t.misses}
+	for i, v := range vpns {
+		st.Stamps[i] = t.stamps[v]
+	}
+	return st
+}
+
+func (t *tlbLevel) restoreState(st LevelState) error {
+	if len(st.VPNs) != len(st.Stamps) {
+		return fmt.Errorf("tlb: %d VPNs but %d stamps", len(st.VPNs), len(st.Stamps))
+	}
+	if len(st.VPNs) > t.entries {
+		return fmt.Errorf("tlb: state has %d entries, level holds %d", len(st.VPNs), t.entries)
+	}
+	stamps := make(map[uint64]uint64, t.entries)
+	for i, v := range st.VPNs {
+		if _, dup := stamps[v]; dup {
+			return fmt.Errorf("tlb: duplicate VPN %#x in state", v)
+		}
+		stamps[v] = st.Stamps[i]
+	}
+	t.stamps = stamps
+	t.clock, t.hits, t.misses = st.Clock, st.Hits, st.Misses
+	return nil
+}
+
+// SaveState serializes the hierarchy's resident translations and counters.
+func (h *Hierarchy) SaveState() State {
+	return State{DTLB1: h.dtlb1.saveState(), TLB2: h.tlb2.saveState(), Walks: h.Walks}
+}
+
+// RestoreState replaces the hierarchy's state with a previously saved one.
+func (h *Hierarchy) RestoreState(st State) error {
+	if err := h.dtlb1.restoreState(st.DTLB1); err != nil {
+		return fmt.Errorf("DTLB1: %w", err)
+	}
+	if err := h.tlb2.restoreState(st.TLB2); err != nil {
+		return fmt.Errorf("TLB2: %w", err)
+	}
+	h.Walks = st.Walks
+	return nil
+}
+
+// ResetStats clears the walk and hit/miss counters, keeping the resident
+// translations (warmup barrier semantics).
+func (h *Hierarchy) ResetStats() {
+	h.Walks = 0
+	h.dtlb1.hits, h.dtlb1.misses = 0, 0
+	h.tlb2.hits, h.tlb2.misses = 0, 0
+}

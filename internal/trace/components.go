@@ -10,6 +10,10 @@ import (
 // with ALU work.
 type component interface {
 	next(r *rng.Stream) Inst
+	// saveState/restoreState serialize the component's cursor for
+	// checkpoint/restore (see state.go).
+	saveState() ComponentState
+	restoreState(ComponentState) error
 }
 
 // streamComp is a constant-byte-stride stream wrapping inside a region: the

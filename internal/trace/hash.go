@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"sync"
+)
+
+// contentHashEntry memoizes one file's content hash, invalidated when size
+// or mtime changes — a sweep hashes each trace (or checkpoint) once, not
+// once per scheduled job.
+type contentHashEntry struct {
+	size  int64
+	mtime int64
+	hash  string
+}
+
+var contentHashes sync.Map // path -> contentHashEntry
+
+// ContentSHA returns the hex SHA-256 of the file's content, or "" when the
+// file cannot be read. The result is memoized by (size, mtime), so repeated
+// calls re-read only changed files. It is the identity trace replays and
+// warmup checkpoints are addressed by: the experiment scheduler keys caches
+// with it and the distrib coordinator ships it instead of a path.
+func ContentSHA(path string) string {
+	st, err := os.Stat(path)
+	if err != nil {
+		return ""
+	}
+	if e, ok := contentHashes.Load(path); ok {
+		ent := e.(contentHashEntry)
+		if ent.size == st.Size() && ent.mtime == st.ModTime().UnixNano() {
+			return ent.hash
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return ""
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	contentHashes.Store(path, contentHashEntry{size: st.Size(), mtime: st.ModTime().UnixNano(), hash: sum})
+	return sum
+}

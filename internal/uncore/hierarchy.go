@@ -568,6 +568,9 @@ func (h *Hierarchy) Drained() bool {
 		if h.l2fq[c].len() > 0 || len(h.demandQ[c]) > 0 || !h.pq[c].empty() || len(h.dl1Fills[c]) > 0 {
 			return false
 		}
+		if len(h.outstanding[c]) > 0 {
+			return false
+		}
 	}
 	return true
 }

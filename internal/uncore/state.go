@@ -1,0 +1,133 @@
+package uncore
+
+import (
+	"fmt"
+
+	"bopsim/internal/cache"
+	"bopsim/internal/dram"
+	"bopsim/internal/prefetch"
+	"bopsim/internal/tlb"
+)
+
+// State is the serialized state of a drained hierarchy: cache contents and
+// replacement state, TLB residency, DRAM bank/scheduler registers and every
+// statistic. Transient queue state (fill queues, demand queues, MSHRs,
+// prefetch queues, pending writebacks) is deliberately absent — SaveState
+// refuses a hierarchy that is not Drained, so there is never anything in
+// them to serialize. Prefetcher state is owned by the engine snapshot (via
+// prefetch.StateCodec), not here.
+type State struct {
+	Stats       Stats
+	DL1         []cache.State
+	L2          []cache.State
+	L3          cache.State
+	TLBs        []tlb.State
+	PQCancelled []uint64
+	DRAM        dram.State
+}
+
+// SaveState serializes the hierarchy. It reports an error when any queue
+// still holds in-flight work; the engine drains the machine first.
+func (h *Hierarchy) SaveState() (State, error) {
+	if !h.Drained() {
+		return State{}, fmt.Errorf("uncore: cannot checkpoint with requests in flight")
+	}
+	dramState, err := h.mem.SaveState()
+	if err != nil {
+		return State{}, err
+	}
+	st := State{Stats: h.stats, L3: h.l3.SaveState(), DRAM: dramState}
+	for c := range h.dl1 {
+		st.DL1 = append(st.DL1, h.dl1[c].SaveState())
+		st.L2 = append(st.L2, h.l2[c].SaveState())
+		st.TLBs = append(st.TLBs, h.tlbs[c].SaveState())
+		st.PQCancelled = append(st.PQCancelled, h.pq[c].Cancelled)
+	}
+	return st, nil
+}
+
+// RestoreState replaces a freshly constructed hierarchy's state with a
+// previously saved one. The hierarchy must have been built from the same
+// configuration (core count, cache geometry, L3 policy, page size).
+func (h *Hierarchy) RestoreState(st State) error {
+	if !h.Drained() {
+		return fmt.Errorf("uncore: cannot restore with requests in flight")
+	}
+	if len(st.DL1) != len(h.dl1) || len(st.L2) != len(h.l2) ||
+		len(st.TLBs) != len(h.tlbs) || len(st.PQCancelled) != len(h.pq) {
+		return fmt.Errorf("uncore: state covers %d cores, hierarchy has %d", len(st.DL1), len(h.dl1))
+	}
+	// Line.Core is used as an index downstream (write-back routing, the
+	// DRAM per-core queues, 5P's per-core counters), so a decodable but
+	// corrupt snapshot must be rejected here rather than panic mid-run.
+	for _, cs := range append(append([]cache.State{st.L3}, st.DL1...), st.L2...) {
+		for _, ln := range cs.Lines {
+			if ln.Valid && (ln.Core < 0 || ln.Core >= h.cfg.NumCores) {
+				return fmt.Errorf("uncore: cached line owned by core %d, hierarchy has %d cores", ln.Core, h.cfg.NumCores)
+			}
+		}
+	}
+	if err := h.l3.RestoreState(st.L3); err != nil {
+		return err
+	}
+	for c := range h.dl1 {
+		if err := h.dl1[c].RestoreState(st.DL1[c]); err != nil {
+			return fmt.Errorf("core %d: %w", c, err)
+		}
+		if err := h.l2[c].RestoreState(st.L2[c]); err != nil {
+			return fmt.Errorf("core %d: %w", c, err)
+		}
+		if err := h.tlbs[c].RestoreState(st.TLBs[c]); err != nil {
+			return fmt.Errorf("core %d TLB: %w", c, err)
+		}
+		h.pq[c].Cancelled = st.PQCancelled[c]
+	}
+	if err := h.mem.RestoreState(st.DRAM); err != nil {
+		return err
+	}
+	h.stats = st.Stats
+	return nil
+}
+
+// ResetStats zeroes every event counter in the hierarchy — the hierarchy's
+// own, the caches', the TLBs', the prefetch queues' and DRAM's — without
+// touching any warmed state. The warmup barrier calls it so the measured
+// region's statistics start from zero in checkpointed and straight runs
+// alike.
+func (h *Hierarchy) ResetStats() {
+	h.stats = Stats{}
+	h.l3.ResetStats()
+	for c := range h.dl1 {
+		h.dl1[c].ResetStats()
+		h.l2[c].ResetStats()
+		h.tlbs[c].ResetStats()
+		h.pq[c].Cancelled = 0
+	}
+	h.mem.ResetStats()
+}
+
+// SetPrefetchers replaces every core's L2 and DL1 prefetchers using the
+// same factory contract as New. The warmup barrier uses it: a warmup region
+// that ran with prefetching disabled installs the configured prefetchers —
+// cold — exactly at the boundary of the measured region.
+func (h *Hierarchy) SetPrefetchers(newL2PF func(core int) prefetch.L2Prefetcher, newL1PF func(core int) prefetch.L1Prefetcher) {
+	for c := range h.l2pf {
+		var l1 prefetch.L1Prefetcher
+		if newL1PF != nil {
+			l1 = newL1PF(c)
+		}
+		h.l1pf[c] = l1
+		var pf prefetch.L2Prefetcher = prefetch.None{}
+		if newL2PF != nil {
+			if p := newL2PF(c); p != nil {
+				pf = p
+			}
+		}
+		h.l2pf[c] = pf
+		tagCheck := false
+		if tc, ok := pf.(prefetch.PreIssueTagChecker); ok {
+			tagCheck = tc.PreIssueTagCheck()
+		}
+		h.preIssueTagCheck[c] = tagCheck
+	}
+}
