@@ -16,6 +16,8 @@
 // Usage:
 //
 //	bosim -workload 462.libquantum -l2pf bo -page 4MB -cores 1 -n 1000000
+//	bosim -workload gups:footprint=64mb -l2pf bo
+//	bosim -workloads "gups:footprint=64mb;stream:stride=128" -l2pf bo
 //	bosim -workload 433.milc -l2pf offset:d=4 -l1pf none
 //	bosim -workload 433.milc -l2pf bo -warmup 200000 -checkpoint milc.ckpt
 //	bosim -workload 429.mcf -l2pf bo:badscore=5 -progress -json
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -44,9 +47,10 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "462.libquantum", "benchmark stand-in (see -list)")
-		tracePath = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
-		cores     = flag.Int("cores", 1, "active cores (1, 2 or 4)")
+		workload  = flag.String("workload", "462.libquantum", "core-0 workload spec: any registered generator, e.g. 429.mcf, gups:footprint=64mb (see -list-workloads)")
+		workloads = flag.String("workloads", "", "per-core workload specs, ';'-separated (\"gups:footprint=64mb;stream:stride=128\"); -cores defaults to the list length")
+		tracePath = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload (shorthand for -workload file:path=FILE)")
+		cores     = flag.Int("cores", 1, "active cores (1..4; the paper's baselines use 1, 2 and 4)")
 		pageStr   = flag.String("page", "4KB", "page size: 4KB or 4MB")
 		l2pf      = flag.String("l2pf", "nextline", "L2 prefetcher spec, e.g. bo, offset:d=4, bo:badscore=5 (see -list-pf)")
 		l1pf      = flag.String("l1pf", "stride", "DL1 prefetcher spec: stride, stride:dist=8, none")
@@ -59,7 +63,8 @@ func main() {
 		l3        = flag.String("l3", "5P", "L3 replacement policy: 5P|LRU|DRRIP")
 		noStride  = flag.Bool("nostride", false, "deprecated: disable the DL1 stride prefetcher (use -l1pf none)")
 		seed      = flag.Uint64("seed", 1, "simulation seed (also seeds -verify sampling)")
-		list      = flag.Bool("list", false, "list available workloads and exit")
+		list      = flag.Bool("list", false, "list the benchmark stand-in names and exit")
+		listWL    = flag.Bool("list-workloads", false, "list every registered workload generator with its parameter schema, then exit")
 		listPF    = flag.Bool("list-pf", false, "list registered prefetchers and their spec names, then exit")
 		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of text")
 		progress  = flag.Bool("progress", false, "report live progress on stderr while running")
@@ -70,12 +75,17 @@ func main() {
 		cacheDir     = flag.String("cache", "", "result-cache directory for -verify")
 		verifySample = flag.Int("verify-sample", 8, "how many cache entries -verify re-executes (0: all)")
 	)
+	flag.StringVar(workload, "wl", "462.libquantum", "alias of -workload")
 	flag.Parse()
 
 	if *list {
 		for _, b := range trace.Benchmarks() {
 			fmt.Println(b)
 		}
+		return
+	}
+	if *listWL {
+		listWorkloads()
 		return
 	}
 	if *listPF {
@@ -104,8 +114,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := sim.DefaultOptions(*workload)
-	o.Cores = *cores
+	o := sim.DefaultOptions("")
+	o.Workloads, o.Cores = resolveWorkloads(*workload, *workloads, *tracePath, *cores)
 	o.Page = page
 	o.L2PF = l2Spec(*l2pf, *pf, *offset)
 	o.L1PF = parseSpec(*l1pf)
@@ -115,7 +125,6 @@ func main() {
 	o.L3Policy = *l3
 	o.Instructions = *n
 	o.Seed = *seed
-	o.TracePath = *tracePath
 	o.Warmup = *warmup
 	o.WarmupPF = *warmupPF
 	if *ckptFile != "" && *warmup == 0 {
@@ -272,6 +281,89 @@ func runVerify(dir string, sample int, seed uint64) {
 func exitInterrupted(interrupted bool) {
 	if interrupted {
 		os.Exit(130)
+	}
+}
+
+// resolveWorkloads turns the workload flags into the per-core spec list:
+// -workloads (';'-separated, one spec per core) wins, then -trace (the
+// "file" generator), then -workload/-wl (core 0 only; satellite cores get
+// the registry's microthrash default). With -workloads and no explicit
+// -cores, the core count follows the list length.
+func resolveWorkloads(workload, workloads, tracePath string, coresFlag int) ([]trace.Spec, int) {
+	coresSet, workloadSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "cores":
+			coresSet = true
+		case "workload", "wl":
+			workloadSet = true
+		}
+	})
+	switch {
+	case workloads != "":
+		if tracePath != "" {
+			fmt.Fprintln(os.Stderr, "bosim: -workloads and -trace are mutually exclusive (use a file: spec in the list)")
+			os.Exit(2)
+		}
+		if workloadSet {
+			// Same rule as -trace: silently dropping an explicit -workload
+			// would measure the wrong run without a diagnostic.
+			fmt.Fprintln(os.Stderr, "bosim: -workloads and -workload/-wl are mutually exclusive (put the core-0 spec first in -workloads)")
+			os.Exit(2)
+		}
+		specs, err := trace.ParseSpecList(workloads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+			os.Exit(2)
+		}
+		cores := coresFlag
+		if !coresSet && len(specs) > cores {
+			cores = len(specs)
+		}
+		if len(specs) > cores {
+			fmt.Fprintf(os.Stderr, "bosim: %d workload specs but -cores %d\n", len(specs), cores)
+			os.Exit(2)
+		}
+		return specs, cores
+	case tracePath != "":
+		if workloadSet {
+			fmt.Fprintln(os.Stderr, "bosim: -trace and -workload/-wl are mutually exclusive (a trace replay is the whole core-0 workload)")
+			os.Exit(2)
+		}
+		return []trace.Spec{trace.FileSpec(tracePath)}, coresFlag
+	default:
+		sp, err := trace.ParseSpec(workload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+			os.Exit(2)
+		}
+		return []trace.Spec{sp}, coresFlag
+	}
+}
+
+// listWorkloads renders every registered generator with its parameter
+// schema and defaults, mirroring -list-pf on the workload axis.
+func listWorkloads() {
+	fmt.Println("workload generators (-workload / -workloads):")
+	for _, name := range trace.Names() {
+		fmt.Printf("  %-15s %s\n", name, trace.Help(name))
+		defs, _ := trace.ParamDefaults(name)
+		keys := make([]string, 0, len(defs))
+		for k := range defs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			if defs[k] == "" {
+				parts = append(parts, k+"=?")
+				continue
+			}
+			parts = append(parts, k+"="+defs[k])
+		}
+		if len(parts) > 0 {
+			fmt.Printf("  %-15s   params: %s\n", "", strings.Join(parts, " "))
+		}
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the representative config subset instead of all six")
 		n        = flag.Uint64("n", 300_000, "instructions per simulation (core 0)")
 		benchCS  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 29)")
+		wlCS     = flag.String("workloads", "", "';'-separated core-0 workload specs, one table ROW each (satellite cores run microthrash; overrides -benchmarks). Unlike bosim -workloads, entries here are rows, not cores — per-core heterogeneous runs are bosim's job")
 		verbose  = flag.Bool("v", false, "log every simulation run")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run concurrently")
 		cacheDir = flag.String("cache", "", "persistent result-cache directory (empty: in-memory only)")
@@ -57,6 +58,7 @@ func main() {
 		table1 = flag.Bool("table1", false, "print Table 1 (baseline microarchitecture)")
 		table2 = flag.Bool("table2", false, "print Table 2 (BO parameters)")
 		zoo    = flag.Bool("zoo", false, "run every registered L2 prefetcher (the registry-driven ablation sweep)")
+		wzoo   = flag.Bool("wzoo", false, "run every registered workload generator (the workload-axis registry sweep)")
 		doPlot = flag.Bool("plot", false, "render each figure's first column as an ASCII chart")
 		fig    [14]*bool
 	)
@@ -73,7 +75,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: cache migration: %v\n", err)
 			os.Exit(1)
 		} else if migrated > 0 || dropped > 0 {
-			fmt.Fprintf(os.Stderr, "cache: migrated %d entries to schema v2 (%d dropped)\n", migrated, dropped)
+			fmt.Fprintf(os.Stderr, "cache: migrated %d entries to schema v%d (%d dropped)\n", migrated, experiments.SchemaVersion(), dropped)
 		}
 	}
 
@@ -110,8 +112,24 @@ func main() {
 			}
 		}()
 	}
-	if *benchCS != "" {
-		r.Benchmarks = strings.Split(*benchCS, ",")
+	if *wlCS != "" {
+		specs, err := trace.ParseSpecList(*wlCS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		r.Benchmarks = specs
+	} else if *benchCS != "" {
+		// Legacy spelling: comma-separated bare benchmark names.
+		r.Benchmarks = nil
+		for _, b := range strings.Split(*benchCS, ",") {
+			sp, err := trace.ParseSpec(b)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			r.Benchmarks = append(r.Benchmarks, sp)
+		}
 	} else if *quick {
 		// Quick mode also trims the workload list to the memory-active
 		// benchmarks plus a few compute-bound representatives.
@@ -143,7 +161,7 @@ func main() {
 		}
 	}
 
-	any := *table1 || *table2 || *zoo
+	any := *table1 || *table2 || *zoo || *wzoo
 	for i := 2; i <= 13; i++ {
 		any = any || *fig[i]
 	}
@@ -250,6 +268,11 @@ func main() {
 	if *all || *zoo {
 		show("zoo", r.Zoo())
 	}
+	// Deliberately not part of -all: the legacy -all output stays
+	// byte-identical to the pre-spec table set.
+	if *wzoo {
+		show("wzoo", r.WorkloadZoo())
+	}
 	if *cacheDir != "" && *cacheMaxMB > 0 {
 		removed, freed, err := experiments.EvictCache(*cacheDir, *cacheMaxMB<<20)
 		if err != nil {
@@ -292,7 +315,7 @@ func writeJSON(path string, tables []*stats.Table) error {
 // quickBenchmarks is the subset used by -quick: every benchmark the paper's
 // figures single out, plus compute-bound representatives so the GM stays
 // meaningful.
-func quickBenchmarks() []string {
+func quickBenchmarks() []trace.Spec {
 	want := map[string]bool{
 		"403.gcc": true, "410.bwaves": true, "416.gamess": true,
 		"429.mcf": true, "433.milc": true, "437.leslie3d": true,
@@ -301,10 +324,10 @@ func quickBenchmarks() []string {
 		"471.omnetpp": true, "473.astar": true, "482.sphinx3": true,
 		"483.xalancbmk": true,
 	}
-	var out []string
+	var out []trace.Spec
 	for _, b := range trace.Benchmarks() {
 		if want[b] {
-			out = append(out, b)
+			out = append(out, trace.Spec{Name: b})
 		}
 	}
 	return out

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "462.libquantum", "workload to record")
+		workload = flag.String("workload", "462.libquantum", "workload spec to record (any registered generator)")
 		n        = flag.Uint64("n", 1_000_000, "instructions to record")
 		out      = flag.String("o", "", "output trace file (required)")
 		seed     = flag.Uint64("seed", 1, "generator seed")
@@ -28,7 +28,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
 		os.Exit(2)
 	}
-	gen, err := trace.NewWorkload(*workload, *seed)
+	sp, err := trace.ParseSpec(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(2)
+	}
+	gen, err := trace.NewGenerator(sp, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)

@@ -22,7 +22,7 @@ func main() {
 	boOpts.L2PF = sim.PFBO
 	bo := sim.MustRun(boOpts)
 
-	fmt.Printf("workload: %s (%s)\n", base.Workload, sim.ConfigLabel(base.Cores, base.Page))
+	fmt.Printf("workload: %s (%s)\n", base.WorkloadLabel(), sim.ConfigLabel(base.Cores, base.Page))
 	fmt.Printf("next-line prefetcher: IPC %.3f\n", nextLine.IPC)
 	fmt.Printf("Best-Offset:          IPC %.3f (learned offset %d)\n", bo.IPC, bo.FinalBOOffset)
 	fmt.Printf("speedup:              %.3f\n", bo.IPC/nextLine.IPC)

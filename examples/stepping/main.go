@@ -26,7 +26,7 @@ func main() {
 		panic(err)
 	}
 
-	fmt.Printf("%s, %d instructions, BO prefetcher — sampled every 50k cycles\n\n", o.Workload, o.Instructions)
+	fmt.Printf("%s, %d instructions, BO prefetcher — sampled every 50k cycles\n\n", o.WorkloadLabel(), o.Instructions)
 	fmt.Printf("%-10s %10s %10s %10s %8s\n", "cycle", "retired", "IPC", "phases", "offset")
 
 	const quantum = 50_000

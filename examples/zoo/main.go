@@ -29,7 +29,7 @@ func main() {
 	base.Instructions = 250_000
 	baseline := sim.MustRun(base)
 
-	fmt.Printf("\n%s, %s, speedup vs next-line:\n", base.Workload, sim.ConfigLabel(base.Cores, base.Page))
+	fmt.Printf("\n%s, %s, speedup vs next-line:\n", base.WorkloadLabel(), sim.ConfigLabel(base.Cores, base.Page))
 	for _, name := range prefetch.L2Names() {
 		o := base
 		o.L2PF = prefetch.Spec{Name: name}

@@ -22,7 +22,7 @@ import (
 // benchmarks, one config, short runs.
 func tinyRunner() *experiments.Runner {
 	r := experiments.NewRunner(40_000, []experiments.CoreConfig{{Cores: 1, Page: mem.Page4K}})
-	r.Benchmarks = []string{"416.gamess", "456.hmmer"}
+	r.Benchmarks = []trace.Spec{{Name: "416.gamess"}, {Name: "456.hmmer"}}
 	return r
 }
 
@@ -236,21 +236,93 @@ func TestServerRejectsBadPayloads(t *testing.T) {
 		t.Errorf("key mismatch: %d/%s, want 409/%s", code, eb.Code, CodeKeyMismatch)
 	}
 
-	// An unknown field means coordinator/worker disagree about the Job
-	// schema itself: refused, not silently dropped.
-	b, _ = json.Marshal(map[string]any{"protocol": ProtocolVersion, "surprise": true})
+	// An unknown field from a same-version coordinator means the two
+	// binaries disagree about the Job schema itself: refused, not
+	// silently dropped.
+	b, _ = json.Marshal(map[string]any{
+		"protocol": ProtocolVersion, "schema": experiments.SchemaVersion(), "surprise": true})
 	if code, eb := post(b); code != http.StatusBadRequest || eb.Code != CodeMalformed {
 		t.Errorf("unknown field: %d/%s, want 400/%s", code, eb.Code, CodeMalformed)
 	}
 
+	// A protocol-v2 era payload — old version numbers AND since-removed
+	// Options fields — gets the purpose-built version-skew diagnostic, not
+	// a generic unknown-field 400: the version check reads a lenient
+	// pre-decode precisely so field removals can't mask it.
+	b, _ = json.Marshal(map[string]any{
+		"protocol": 2, "schema": 2, "key": "abc",
+		"options": map[string]any{"Workload": "456.hmmer", "TracePath": "", "Cores": 1},
+	})
+	if code, eb := post(b); code != http.StatusConflict || eb.Code != CodeSchemaMismatch {
+		t.Errorf("v2-era payload: %d/%s, want 409/%s", code, eb.Code, CodeSchemaMismatch)
+	}
+
 	// A bad simulation (unknown benchmark) is a deterministic job error.
-	bad, err := makeJob(sim.Options{Workload: "no-such-benchmark", Cores: 1, Page: mem.Page4K, Instructions: 1000})
+	bad, err := makeJob(sim.Options{Workloads: []trace.Spec{{Name: "no-such-benchmark"}}, Cores: 1, Page: mem.Page4K, Instructions: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	b, _ = json.Marshal(bad)
 	if code, eb := post(b); code != http.StatusUnprocessableEntity || eb.Code != CodeSimFailed {
 		t.Errorf("sim failure: %d/%s, want 422/%s", code, eb.Code, CodeSimFailed)
+	}
+}
+
+// TestHeterogeneousWorkloadsRemoteMatchesLocal checks per-core workload
+// specs travel the wire intact: a two-core run with different generators
+// on each core returns byte-identical results remotely and locally, and
+// the worker's key recomputation accepts the spec-based payload.
+func TestHeterogeneousWorkloadsRemoteMatchesLocal(t *testing.T) {
+	o := sim.DefaultOptions("")
+	o.Workloads = []trace.Spec{
+		trace.MustSpec("gups:footprint=4mb"),
+		trace.MustSpec("stream:stride=128"),
+	}
+	o.Cores = 2
+	o.Instructions = 20_000
+
+	local, err := sim.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, counter := startWorker(t, 1)
+	pool, err := Dial([]string{w.URL}, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := pool.Run(0, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := json.Marshal(local)
+	rb, _ := json.Marshal(remote)
+	if !bytes.Equal(lb, rb) {
+		t.Errorf("remote heterogeneous run diverged\nlocal:  %s\nremote: %s", lb, rb)
+	}
+	if counter.runs.Load() != 1 {
+		t.Errorf("worker executed %d jobs, want 1", counter.runs.Load())
+	}
+}
+
+// TestWorkerRejectsPathFileSpec checks the wire hygiene rule: a job whose
+// file workload spec still carries a coordinator-local path (instead of
+// the sha-only wire form) is refused as malformed, never opened.
+func TestWorkerRejectsPathFileSpec(t *testing.T) {
+	w, _ := startWorker(t, 1)
+	o := sim.DefaultOptions("").Normalized()
+	o.Workloads = []trace.Spec{trace.FileSpec("/etc/hostname")}
+	o.Cores = 1
+	job := Job{Protocol: ProtocolVersion, Schema: experiments.SchemaVersion(), Options: o}
+	b, _ := json.Marshal(job)
+	resp, err := http.Post(w.URL+"/v1/run", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb ErrorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	if resp.StatusCode != http.StatusBadRequest || eb.Code != CodeMalformed {
+		t.Errorf("path-bearing file spec: %d/%s, want 400/%s", resp.StatusCode, eb.Code, CodeMalformed)
 	}
 }
 
@@ -287,7 +359,7 @@ func TestTraceJobsResolveByContentHash(t *testing.T) {
 	}
 
 	o := sim.DefaultOptions("456.hmmer")
-	o.TracePath = tracePath
+	o.Workloads = []trace.Spec{trace.FileSpec(tracePath)}
 	o.Instructions = 2000
 
 	// Slot 0 homes on the bare worker: the job must bounce off it (412)
@@ -316,9 +388,17 @@ func TestTraceJobsResolveByContentHash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.IPC != want.IPC || res.Cycles != want.Cycles {
-		t.Errorf("remote trace replay IPC=%v cycles=%d, local IPC=%v cycles=%d",
-			res.IPC, res.Cycles, want.IPC, want.Cycles)
+	// The whole result must be byte-identical — Workload label included,
+	// even though the worker resolved the trace at a *different* local
+	// path than the coordinator's: file replays label by content hash, so
+	// result bytes never depend on which machine's path served the trace.
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(res)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("remote trace replay result diverged from local\nlocal:  %s\nremote: %s", wantJSON, gotJSON)
+	}
+	if !strings.HasPrefix(res.Workload, "file:sha=") {
+		t.Errorf("trace-replay result labeled %q, want content-hash form", res.Workload)
 	}
 
 	// With only the bare worker, the job must fail with a trace error.

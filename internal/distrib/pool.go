@@ -14,6 +14,7 @@ import (
 
 	"bopsim/internal/experiments"
 	"bopsim/internal/sim"
+	"bopsim/internal/trace"
 )
 
 // RetryPolicy bounds how the coordinator reacts to lost workers: a job
@@ -253,25 +254,25 @@ func (p *Pool) runJob(slot int, job Job) (sim.Result, error) {
 	}
 }
 
-// makeJob serializes one run for the wire: normalized options, the
-// coordinator's cache key, and — for trace replays — the trace's content
-// hash in place of its local path.
+// makeJob serializes one run for the wire: normalized options with every
+// "file" workload spec rewritten to its content hash (never a
+// coordinator-local path), plus the coordinator's cache key — which hashes
+// the same wire form, so the worker's recomputation must agree.
 func makeJob(o sim.Options) (Job, error) {
-	job := Job{
+	n := o.Normalized()
+	for i, w := range n.Workloads {
+		wire, err := trace.WireSpec(w)
+		if err != nil {
+			return Job{}, fmt.Errorf("distrib: %v", err)
+		}
+		n.Workloads[i] = wire
+	}
+	return Job{
 		Protocol: ProtocolVersion,
 		Schema:   experiments.SchemaVersion(),
-		Key:      experiments.OptionsHash(o),
-		Options:  o.Normalized(),
-	}
-	if o.TracePath != "" {
-		sha := experiments.TraceContentSHA(o.TracePath)
-		if sha == "" {
-			return Job{}, fmt.Errorf("distrib: trace %s unreadable, cannot ship by content hash", o.TracePath)
-		}
-		job.TraceSHA = sha
-		job.Options.TracePath = ""
-	}
-	return job, nil
+		Key:      experiments.OptionsHash(n),
+		Options:  n,
+	}, nil
 }
 
 // pick chooses the worker for one attempt: the slot's home worker when
@@ -348,13 +349,12 @@ func (p *Pool) post(w *worker, job Job) (sim.Result, verdict, error) {
 				fmt.Errorf("worker %s returned cache schema v%d, want v%d", w.addr, entry.Version, experiments.SchemaVersion())
 		}
 		// End-to-end integrity: the returned options must describe the job
-		// we sent. Trace jobs are exempt only because the worker clears the
-		// path it resolved (the trace identity already lives in Job.Key).
-		if job.TraceSHA == "" {
-			if got := experiments.OptionsHash(entry.Options); got != job.Key {
-				return sim.Result{}, verdictPermanent,
-					fmt.Errorf("worker %s returned result for key %.12s, job was %.12s", w.addr, got, job.Key)
-			}
+		// we sent. The worker answers in wire form (file specs by sha, the
+		// resolved local path never echoed), which hashes identically to
+		// the coordinator's key, so trace jobs are checked like any other.
+		if got := experiments.OptionsHash(entry.Options); got != job.Key {
+			return sim.Result{}, verdictPermanent,
+				fmt.Errorf("worker %s returned result for key %.12s, job was %.12s", w.addr, got, job.Key)
 		}
 		return entry.Result, verdictOK, nil
 	}

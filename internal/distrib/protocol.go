@@ -32,7 +32,12 @@ import (
 //
 // v2: Job gained CheckpointSHA (warmup snapshots shipped by content hash,
 // like traces) and Options gained the Warmup/WarmupPF fields.
-const ProtocolVersion = 2
+//
+// v3: Options carries per-core workload specs (Options.Workloads) instead
+// of the Workload/TracePath pair; trace replays travel as "file" specs in
+// hash form ("file:sha=HEX", resolved against the worker's trace
+// directories), so the Job-level TraceSHA field is gone.
+const ProtocolVersion = 3
 
 // MaxJobBytes bounds a /v1/run request body. A legitimate job is a few
 // hundred bytes of JSON (options are value types; traces travel by hash),
@@ -55,12 +60,12 @@ type Job struct {
 	// path) and refuses the job on mismatch — the cheap end-to-end check
 	// that both sides normalize and hash identically.
 	Key string `json:"key"`
-	// Options is the run itself, normalized, with TracePath cleared when
-	// TraceSHA is set.
+	// Options is the run itself, normalized, with every "file" workload
+	// spec in wire form: identified by content SHA-256 ("file:sha=HEX"),
+	// never by coordinator-local path. The worker resolves each sha in its
+	// own trace directories and refuses the job — with the retryable
+	// trace_unavailable status — when it has no copy.
 	Options sim.Options `json:"options"`
-	// TraceSHA, when non-empty, identifies the trace file to replay by
-	// content hash; the worker resolves it in its own trace directories.
-	TraceSHA string `json:"trace_sha,omitempty"`
 	// CheckpointSHA, when non-empty, identifies a warmup snapshot
 	// (engine.Checkpoint bytes) by content hash. The worker resolves it in
 	// its trace/checkpoint directories and forks the measured region from

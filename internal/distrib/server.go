@@ -17,6 +17,7 @@ import (
 	"bopsim/internal/engine"
 	"bopsim/internal/experiments"
 	"bopsim/internal/sim"
+	"bopsim/internal/trace"
 )
 
 // Server is the worker side of the protocol: cmd/boworkerd mounts its
@@ -101,6 +102,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeMalformed, err.Error())
 		return
 	}
+	// Check protocol/schema agreement from a lenient pre-decode before the
+	// strict one: protocol bumps may remove Options fields (v3 dropped
+	// Workload/TracePath), and DisallowUnknownFields would turn every
+	// old-coordinator job into a generic 400 instead of the purpose-built
+	// version-skew diagnostic.
+	var versions struct {
+		Protocol int `json:"protocol"`
+		Schema   int `json:"schema"`
+	}
+	if err := json.Unmarshal(b, &versions); err != nil {
+		writeError(w, http.StatusBadRequest, CodeMalformed, fmt.Sprintf("decoding job: %v", err))
+		return
+	}
+	if versions.Protocol != ProtocolVersion || versions.Schema != experiments.SchemaVersion() {
+		writeError(w, http.StatusConflict, CodeSchemaMismatch,
+			fmt.Sprintf("worker speaks protocol %d / schema %d, job is protocol %d / schema %d",
+				ProtocolVersion, experiments.SchemaVersion(), versions.Protocol, versions.Schema))
+		return
+	}
 	var job Job
 	dec := json.NewDecoder(bytes.NewReader(b))
 	dec.DisallowUnknownFields()
@@ -108,21 +128,34 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeMalformed, fmt.Sprintf("decoding job: %v", err))
 		return
 	}
-	if job.Protocol != ProtocolVersion || job.Schema != experiments.SchemaVersion() {
-		writeError(w, http.StatusConflict, CodeSchemaMismatch,
-			fmt.Sprintf("worker speaks protocol %d / schema %d, job is protocol %d / schema %d",
-				ProtocolVersion, experiments.SchemaVersion(), job.Protocol, job.Schema))
-		return
-	}
+	// Resolve wire-form file specs against the local trace index. The
+	// workload slice is deep-copied first: the 200 response echoes
+	// job.Options verbatim (wire form, no worker-local paths), so the
+	// resolution must not write through the shared slice.
 	o := job.Options
-	if job.TraceSHA != "" {
-		path, ok := s.lookupTrace(job.TraceSHA)
-		if !ok {
-			writeError(w, http.StatusPreconditionFailed, CodeTraceUnavailable,
-				fmt.Sprintf("no trace with content sha256 %s in %v", job.TraceSHA, s.TraceDirs))
+	o.Workloads = append([]trace.Spec(nil), job.Options.Workloads...)
+	for i, ws := range o.Workloads {
+		if ws.Name != "file" {
+			continue
+		}
+		if _, hasPath := ws.Get("path"); hasPath {
+			// A coordinator-local path must never be trusted on the worker.
+			writeError(w, http.StatusBadRequest, CodeMalformed,
+				"file workload spec carries a path parameter; the wire form is sha-only")
 			return
 		}
-		o.TracePath = path
+		sha, ok := ws.Get("sha")
+		if !ok {
+			writeError(w, http.StatusBadRequest, CodeMalformed, "file workload spec has neither path nor sha")
+			return
+		}
+		path, found := s.lookupTrace(sha)
+		if !found {
+			writeError(w, http.StatusPreconditionFailed, CodeTraceUnavailable,
+				fmt.Sprintf("no trace with content sha256 %s in %v", sha, s.TraceDirs))
+			return
+		}
+		o.Workloads[i] = trace.FileSpec(path)
 	}
 	// Recompute the cache key from the payload: OptionsHash keys trace
 	// replays by content (so the worker-local path hashes identically) and
@@ -144,7 +177,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	release := s.acquire()
 	defer release()
-	s.logf("run %s key=%.12s\n", o.Workload, job.Key)
+	// One label for all of this request's log lines: WorkloadsLabel
+	// re-normalizes (building validation generators) on every call.
+	label := o.WorkloadsLabel()
+	s.logf("run %s key=%.12s\n", label, job.Key)
 	// Drive the engine under the request context: when the coordinator
 	// goes away (killed sweep, retry-after-truncated-response), the
 	// orphaned job aborts instead of burning a capacity slot on a result
@@ -152,17 +188,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, err := runJob(r.Context(), o, ckptPath)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			s.logf("abandoned %s (coordinator gone)\n", o.Workload)
+			s.logf("abandoned %s (coordinator gone)\n", label)
 			return // the connection is dead; nothing to respond to
 		}
-		s.logf("fail %s: %v\n", o.Workload, err)
+		s.logf("fail %s: %v\n", label, err)
 		writeError(w, http.StatusUnprocessableEntity, CodeSimFailed, err.Error())
 		return
 	}
-	s.logf("done %s IPC=%.3f\n", o.Workload, res.IPC)
+	s.logf("done %s IPC=%.3f\n", label, res.IPC)
 	writeJSON(w, http.StatusOK, experiments.CacheEntry{
 		Version: experiments.SchemaVersion(),
-		Options: job.Options.Normalized(), // coordinator-side spelling: TracePath stays cleared
+		Options: job.Options.Normalized(), // coordinator-side spelling: file specs stay in wire (sha) form
 		Result:  res,
 	})
 }

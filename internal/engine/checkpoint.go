@@ -42,7 +42,11 @@ import (
 // serialized component's state layout changes incompatibly. Restore refuses
 // other versions: a version skew means the two binaries disagree about what
 // the bytes mean.
-const SnapshotVersion = 1
+//
+// v2: the warmup signature identifies workloads by per-core spec (file
+// replays by content hash) instead of the Workload/TracePath pair, and
+// generator cursors may carry mix sub-states.
+const SnapshotVersion = 2
 
 // snapshotMagic begins every snapshot.
 const snapshotMagic = "BOCKPT01"
@@ -77,9 +81,11 @@ type snapshot struct {
 // prefetching and is shared across specs). Trace replays are identified by
 // content, not path, so a worker's local copy signs identically.
 type warmupSig struct {
-	Version     int
-	Workload    string
-	TraceSHA    string `json:",omitempty"`
+	Version int
+	// Workloads holds one hash-form spec string per core: canonical specs
+	// with file replays identified by content SHA-256, never by path, so a
+	// worker's local copy signs identically.
+	Workloads   []string
 	Cores       int
 	Page        mem.PageSize
 	L3Policy    string
@@ -101,7 +107,6 @@ func (o Options) WarmupSignature() (string, error) {
 	o = o.Normalized()
 	sig := warmupSig{
 		Version:     SnapshotVersion,
-		Workload:    o.Workload,
 		Cores:       o.Cores,
 		Page:        o.Page,
 		L3Policy:    o.L3Policy,
@@ -111,12 +116,12 @@ func (o Options) WarmupSignature() (string, error) {
 		Warmup:      o.Warmup,
 		WarmupPF:    o.WarmupPF,
 	}
-	if o.TracePath != "" {
-		sha := trace.ContentSHA(o.TracePath)
-		if sha == "" {
-			return "", fmt.Errorf("engine: trace %s unreadable, cannot compute warmup signature", o.TracePath)
+	for _, w := range o.Workloads {
+		hs, err := trace.WireSpec(w)
+		if err != nil {
+			return "", fmt.Errorf("engine: cannot compute warmup signature: %v", err)
 		}
-		sig.TraceSHA = sha
+		sig.Workloads = append(sig.Workloads, hs.String())
 	}
 	if o.WarmupPF {
 		sig.L2PF = o.L2PF.String()

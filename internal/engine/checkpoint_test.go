@@ -9,6 +9,7 @@ import (
 	"bopsim/internal/engine"
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
+	"bopsim/internal/trace"
 )
 
 // warmed returns small options with a warmup region.
@@ -92,6 +93,32 @@ func TestGoldenDeterminismPerPrefetcher(t *testing.T) {
 				t.Errorf("checkpointed run diverged from straight run\nstraight: %s\nrestored: %s", straight, got)
 			}
 		})
+	}
+}
+
+// TestHeterogeneousWorkloadsCheckpointRoundTrip checks per-core workload
+// specs survive checkpoint/restore byte-exactly: a two-core run with
+// different generators on each core (gups driving core 0, a parameterized
+// stream on core 1, then a mix combinator) produces identical measurements
+// straight and checkpointed — every generator kind's cursor codec round
+// trips through the snapshot.
+func TestHeterogeneousWorkloadsCheckpointRoundTrip(t *testing.T) {
+	for _, ws := range [][]trace.Spec{
+		{trace.MustSpec("gups:footprint=4mb"), trace.MustSpec("stream:stride=128")},
+		{trace.MustSpec("mix:gens=stream+pchase,weights=2+1"), trace.MustSpec("pchase:footprint=1mb")},
+	} {
+		o := warmed("")
+		o.Workloads = ws
+		o.Cores = 2
+		o.Instructions = 10_000
+		o.Warmup = 10_000
+		o.L2PF = prefetch.Spec{Name: "bo"}
+		o.WarmupPF = true
+		straight := resultJSON(t, runStraight(t, o))
+		ckpt, _ := runCheckpointed(t, o)
+		if got := resultJSON(t, ckpt); !bytes.Equal(got, straight) {
+			t.Errorf("heterogeneous %v checkpointed run diverged\nstraight: %s\nrestored: %s", ws, straight, got)
+		}
 	}
 }
 
@@ -223,7 +250,7 @@ func TestRestoreRejectsMismatchedOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := map[string]func(*engine.Options){
-		"workload": func(o *engine.Options) { o.Workload = "470.lbm" },
+		"workload": func(o *engine.Options) { o.Workloads = []trace.Spec{{Name: "470.lbm"}} },
 		"seed":     func(o *engine.Options) { o.Seed = 99 },
 		"warmup":   func(o *engine.Options) { o.Warmup = 10_000 },
 		"cores":    func(o *engine.Options) { o.Cores = 2 },

@@ -38,13 +38,21 @@ import (
 // a result cache must hash the normalized form so equivalent spellings of
 // the same run share an entry.
 type Options struct {
-	Workload string
-	// TracePath, when non-empty, replays a recorded trace file on core 0
-	// instead of the named synthetic workload (see internal/trace's file
-	// format and cmd/tracegen).
-	TracePath string
-	Cores     int // active cores: 1, 2 or 4
-	Page      mem.PageSize
+	// Workloads holds one generator spec per core, resolved through the
+	// workload registry (see internal/trace's Spec and Register): entry i
+	// drives core i, so heterogeneous multi-program runs are expressible
+	// directly ("gups:footprint=64mb" on core 0, "stream:stride=128" on
+	// core 1). Missing tail entries default to the "microthrash" satellite
+	// workload of section 5.1 (Normalized makes that explicit); a recorded
+	// trace replay is the registered "file" generator ("file:path=x.trace",
+	// keyed by content SHA-256 in caches and on the wire).
+	Workloads []trace.Spec
+	// Cores is the active core count, 1..4. The paper's baseline
+	// configurations use 1, 2 and 4 (what the experiment tables sweep),
+	// but the machine model is generic: a 3-program heterogeneous run is
+	// just as valid.
+	Cores int
+	Page  mem.PageSize
 	// L2PF selects and parameterizes the per-core L2 prefetcher by
 	// registry spec (e.g. "bo", "offset:d=4", "bo:badscore=5"). The zero
 	// spec means the baseline next-line prefetcher.
@@ -86,10 +94,22 @@ type Options struct {
 }
 
 // DefaultOptions returns a 1-core, 4KB-page run of the named workload with
-// the baseline prefetchers (next-line at L2, stride at DL1).
+// the baseline prefetchers (next-line at L2, stride at DL1). The argument
+// is parsed as a workload spec, so both bare registered names ("429.mcf")
+// and parameterized forms ("gups:footprint=64mb") work; "" leaves Workloads
+// empty for the caller to fill.
 func DefaultOptions(workload string) Options {
+	var ws []trace.Spec
+	if workload != "" {
+		sp, err := trace.ParseSpec(workload)
+		if err != nil {
+			// Surface the bad name through New's validation, not a panic.
+			sp = trace.Spec{Name: workload}
+		}
+		ws = []trace.Spec{sp}
+	}
 	return Options{
-		Workload:     workload,
+		Workloads:    ws,
 		Cores:        1,
 		Page:         mem.Page4K,
 		L2PF:         prefetch.Spec{Name: "nextline"},
@@ -108,6 +128,29 @@ func DefaultOptions(workload string) Options {
 // run compare (and hash) equal. Specs that fail registry validation pass
 // through syntactically canonicalized; New reports the error.
 func (o Options) Normalized() Options {
+	// Workload specs: registry-canonical form per entry (default-valued
+	// parameters dropped; specs that fail registry validation pass through
+	// syntactically canonicalized — New reports the error), with the tail
+	// filled out to one spec per core so the satellite default is explicit
+	// in everything hashed or shipped from the normalized form. The slice
+	// is always reallocated: Options is a value type and callers must be
+	// able to mutate the original without aliasing the normalized copy.
+	ws := make([]trace.Spec, 0, max(len(o.Workloads), o.Cores))
+	for _, w := range o.Workloads {
+		if sp, err := trace.Normalize(w); err == nil {
+			ws = append(ws, sp)
+		} else {
+			ws = append(ws, w.Canonical())
+		}
+	}
+	// Only satellite slots are filled: an empty list stays empty (so
+	// workload-less options never hash, sign or cache-key like an explicit
+	// microthrash run — New reports the error instead), while a core-0
+	// spec's missing tail gets the satellite default.
+	for len(ws) > 0 && len(ws) < o.Cores {
+		ws = append(ws, trace.Spec{Name: "microthrash"})
+	}
+	o.Workloads = ws
 	if o.Instructions == 0 {
 		o.Instructions = 500_000
 	}
@@ -186,6 +229,11 @@ type Simulation struct {
 	cores []*cpu.Core
 	now   uint64
 	err   error // sticky wedge error
+	// wlLabel/wsLabel are the core-0 result label and the per-core log
+	// label, computed once in build — options are immutable afterwards, and
+	// deriving them per Snapshot/Step would re-run registry normalization.
+	wlLabel string
+	wsLabel string
 
 	phase phase
 	// startCycles/startRetired mark where the measured region began (the
@@ -212,7 +260,16 @@ func New(o Options) (*Simulation, error) {
 // phaseWarmup, with prefetching disabled unless WarmupPF.
 func build(o Options, restored bool) (*Simulation, error) {
 	if o.Cores < 1 || o.Cores > 4 {
-		return nil, fmt.Errorf("engine: %d active cores unsupported (want 1, 2 or 4)", o.Cores)
+		return nil, fmt.Errorf("engine: %d active cores unsupported (want 1..4)", o.Cores)
+	}
+	// Checked before Normalized, which fills missing entries with the
+	// satellite default: a caller who never set a workload must get an
+	// error, not a silent microthrash measurement on core 0.
+	if len(o.Workloads) == 0 {
+		return nil, fmt.Errorf("engine: no workload specs (set Options.Workloads)")
+	}
+	if len(o.Workloads) > o.Cores {
+		return nil, fmt.Errorf("engine: %d workload specs for %d cores", len(o.Workloads), o.Cores)
 	}
 	o = o.Normalized()
 	// Build one prefetcher per level up front so spec errors surface here;
@@ -238,21 +295,20 @@ func build(o Options, restored bool) (*Simulation, error) {
 	}
 	hier := uncore.New(ucfg, l2f, l1f, nil)
 
-	var gen trace.Generator
-	var err error
-	if o.TracePath != "" {
-		gen, err = trace.OpenTraceFile(o.TracePath)
-	} else {
-		gen, err = trace.NewWorkload(o.Workload, o.Seed)
+	// One generator per core, seeded with the historical per-core derived
+	// seed (core 0 gets Options.Seed itself, satellites the staggered
+	// seeds the thrasher always used), so legacy single-spec runs are
+	// bit-identical to the pre-spec engine.
+	var cores []*cpu.Core
+	for i := 0; i < o.Cores; i++ {
+		gen, err := trace.NewGenerator(o.Workloads[i], o.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("engine: core %d workload %s: %w", i, o.Workloads[i], err)
+		}
+		cores = append(cores, cpu.New(i, o.CPU, hier, gen))
 	}
-	if err != nil {
-		return nil, err
-	}
-	cores := []*cpu.Core{cpu.New(0, o.CPU, hier, gen)}
-	for i := 1; i < o.Cores; i++ {
-		cores = append(cores, cpu.New(i, o.CPU, hier, trace.NewThrasher(o.Seed+uint64(i)*7919)))
-	}
-	s := &Simulation{opts: o, hier: hier, cores: cores}
+	s := &Simulation{opts: o, hier: hier, cores: cores,
+		wlLabel: o.WorkloadLabel(), wsLabel: trace.SpecsLabel(o.Workloads)}
 	if o.Warmup > 0 && !restored {
 		s.phase = phaseWarmup
 	} else {
@@ -278,6 +334,35 @@ func prefetcherFactories(o Options) (func(int) prefetch.L2Prefetcher, func(int) 
 
 // Options returns the normalized options the simulation was built from.
 func (s *Simulation) Options() Options { return s.opts }
+
+// WorkloadLabel returns the display name of the measured (core-0)
+// workload: the canonical spec string, which for a bare benchmark name is
+// the name itself ("429.mcf"). File replays label in hash form
+// ("file:sha=…"), never by path: the label lands in Result.Workload, and
+// result bytes must not depend on which machine's local path resolved the
+// trace (a distrib worker and the coordinator must produce byte-identical
+// results, and cache verification re-executes entries locally).
+func (o Options) WorkloadLabel() string {
+	if len(o.Workloads) == 0 {
+		return ""
+	}
+	sp := o.Workloads[0]
+	if n, err := trace.Normalize(sp); err == nil {
+		sp = n
+	} else {
+		sp = sp.Canonical()
+	}
+	return trace.HashSpec(sp).String()
+}
+
+// WorkloadsLabel renders the whole per-core assignment for logs and status
+// lines (trace.SpecsLabel over the normalized specs: canonical strings
+// joined by ';', trailing default-thrasher entries trimmed). Callers that
+// already hold normalized options can call trace.SpecsLabel directly and
+// skip the re-normalization.
+func (o Options) WorkloadsLabel() string {
+	return trace.SpecsLabel(o.Normalized().Workloads)
+}
 
 // Done reports whether core 0 has retired the requested instruction count
 // in the measured region (i.e. past the warmup barrier, if any).
@@ -312,7 +397,7 @@ func (s *Simulation) Step(n uint64) (done bool, err error) {
 		s.atBarrier = false
 		if s.now >= s.opts.MaxCycles && !s.Done() {
 			s.err = fmt.Errorf("engine: %s wedged after %d cycles (%d/%d instructions)",
-				s.opts.Workload, s.now, s.cores[0].Retired, s.startRetired+s.opts.Instructions)
+				s.wsLabel, s.now, s.cores[0].Retired, s.startRetired+s.opts.Instructions)
 			return false, s.err
 		}
 		switch s.phase {
@@ -423,7 +508,7 @@ func (s *Simulation) Snapshot() Result {
 	cycles := s.now - s.startCycles
 	retired := s.cores[0].Retired - s.startRetired
 	res := Result{
-		Workload:     s.opts.Workload,
+		Workload:     s.wlLabel,
 		Cycles:       cycles,
 		Instructions: retired,
 		Hier:         s.hier.Stats(),

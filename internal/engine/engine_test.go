@@ -10,6 +10,7 @@ import (
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
 	"bopsim/internal/sim"
+	"bopsim/internal/trace"
 )
 
 func quick(workload string) engine.Options {
@@ -133,7 +134,7 @@ func TestSnapshotMidRun(t *testing.T) {
 // TestNormalized checks zero values resolve to the concrete baseline
 // defaults, so option spellings that mean the same run compare equal.
 func TestNormalized(t *testing.T) {
-	n := engine.Options{Workload: "429.mcf", Cores: 1}.Normalized()
+	n := engine.Options{Workloads: []trace.Spec{{Name: "429.mcf"}}, Cores: 1}.Normalized()
 	if n.Instructions != 500_000 {
 		t.Errorf("Instructions = %d", n.Instructions)
 	}
@@ -148,7 +149,7 @@ func TestNormalized(t *testing.T) {
 		t.Errorf("Normalized not idempotent:\n%+v\n%+v", n2, n)
 	}
 	// Specs spelling out registered defaults normalize to the bare name.
-	sp := engine.Options{Workload: "429.mcf", Cores: 1,
+	sp := engine.Options{Workloads: []trace.Spec{{Name: "429.mcf"}}, Cores: 1,
 		L2PF: prefetch.MustSpec("bo:scoremax=31,badscore=5")}.Normalized()
 	if sp.L2PF.String() != "bo:badscore=5" {
 		t.Errorf("normalized spec = %q, want bo:badscore=5", sp.L2PF)
@@ -167,6 +168,16 @@ func TestInvalidOptionsRejected(t *testing.T) {
 	o.L2PF = prefetch.Spec{Name: "garbage"}
 	if _, err := engine.New(o); err == nil {
 		t.Error("unknown prefetcher accepted")
+	}
+	o = quick("416.gamess")
+	o.Workloads = nil
+	if _, err := engine.New(o); err == nil {
+		t.Error("empty workload list accepted (would silently measure the satellite default)")
+	}
+	o = quick("416.gamess")
+	o.Workloads = []trace.Spec{{Name: "416.gamess"}, {Name: "stream"}}
+	if _, err := engine.New(o); err == nil {
+		t.Error("more workload specs than cores accepted")
 	}
 	o = quick("416.gamess")
 	o.L2PF = prefetch.MustSpec("bo:nosuchparam=1")

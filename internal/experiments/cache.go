@@ -18,9 +18,13 @@ import (
 //
 // v2: Options moved from the closed PrefetcherKind enum (+ FixedOffset/
 // BOParams/SBPParams/StridePF escape hatches) to prefetch.Spec fields, and
-// TracePath is keyed by trace *content* rather than path. MigrateCache
-// rewrites v1 entries in place.
-const resultCacheVersion = 2
+// TracePath is keyed by trace *content* rather than path.
+//
+// v3: Options moved from the Workload/TracePath pair to per-core workload
+// specs (Options.Workloads); file replays are keyed inside the spec by
+// content hash (trace.HashSpec). MigrateCache rewrites v1 and v2 entries
+// in place.
+const resultCacheVersion = 3
 
 // OptionsHash returns the canonical cache key of one simulation run: a
 // SHA-256 over the JSON encoding of the *normalized* options plus the cache
@@ -31,20 +35,19 @@ const resultCacheVersion = 2
 // because normalization resolves them first.
 //
 // Trace replays are keyed by the SHA-256 of the trace file's content, not
-// its path: editing a trace invalidates its cached results, and moving or
-// copying one preserves them. An unreadable trace falls back to path
-// keying (the simulation will fail with the real error anyway).
+// its path: each "file" workload spec is rewritten to its hash form
+// (trace.HashSpec), so editing a trace invalidates its cached results, and
+// moving or copying one preserves them. An unreadable trace falls back to
+// path keying (the simulation will fail with the real error anyway).
 func OptionsHash(o sim.Options) string {
 	keyed := struct {
-		Version  int
-		Options  sim.Options
-		TraceSHA string `json:",omitempty"`
+		Version int
+		Options sim.Options
 	}{Version: resultCacheVersion, Options: o.Normalized()}
-	if o.TracePath != "" {
-		if h := traceContentHash(o.TracePath); h != "" {
-			keyed.TraceSHA = h
-			keyed.Options.TracePath = ""
-		}
+	// Normalized always reallocates the spec slice, so rewriting entries
+	// here never aliases the caller's options.
+	for i, w := range keyed.Options.Workloads {
+		keyed.Options.Workloads[i] = trace.HashSpec(w)
 	}
 	b, err := json.Marshal(keyed)
 	if err != nil {
@@ -57,10 +60,6 @@ func OptionsHash(o sim.Options) string {
 // optionsKey is the Runner's cache key. It is the full-options hash, so
 // runs differing in any outcome-affecting field never alias.
 func optionsKey(o sim.Options) string { return OptionsHash(o) }
-
-// traceContentHash returns the hex SHA-256 of the file's content (memoized
-// by size+mtime in internal/trace), or "" when the file cannot be read.
-func traceContentHash(path string) string { return trace.ContentSHA(path) }
 
 // CacheEntry is the on-disk record format: one JSON file per completed
 // simulation, named <OptionsHash>.json, self-describing via the stored
@@ -84,7 +83,7 @@ func SchemaVersion() int { return resultCacheVersion }
 // identity trace replays are cache-keyed by, and what a distrib
 // coordinator sends instead of a path so workers can resolve their own
 // local copy.
-func TraceContentSHA(path string) string { return traceContentHash(path) }
+func TraceContentSHA(path string) string { return trace.ContentSHA(path) }
 
 // diskCache persists simulation results under one directory.
 type diskCache struct{ dir string }

@@ -13,15 +13,18 @@ import (
 	"bopsim/internal/prefetch"
 	"bopsim/internal/sbp"
 	"bopsim/internal/sim"
+	"bopsim/internal/trace"
 )
 
-// This file migrates version-1 result-cache entries — written when Options
-// still carried the closed PrefetcherKind enum and its per-kind escape
-// hatches (FixedOffset, BOParams, SBPParams, StridePF) — to the version-2
-// spec-based schema. Simulator behaviour did not change between the
-// schemas, only the configuration encoding, so the stored measurements stay
-// valid; the entries just need their options translated and their files
-// rekeyed under the new OptionsHash.
+// This file migrates old result-cache entries to the current schema.
+// Version-1 entries were written when Options still carried the closed
+// PrefetcherKind enum and its per-kind escape hatches (FixedOffset,
+// BOParams, SBPParams, StridePF); version-2 entries carried prefetcher
+// specs but still named workloads through the closed Workload/TracePath
+// pair. Simulator behaviour did not change between the schemas, only the
+// configuration encoding, so the stored measurements stay valid; the
+// entries just need their options translated and their files rekeyed under
+// the new OptionsHash.
 
 // legacyOptionsV1 mirrors the v1 sim.Options JSON encoding.
 type legacyOptionsV1 struct {
@@ -42,11 +45,31 @@ type legacyOptionsV1 struct {
 	MaxCycles    uint64
 }
 
-// MigrateCache rewrites every version-1 entry under dir to the current
-// schema and key, removing the old file. Entries already at the current
-// version are untouched; unreadable or unmappable entries are dropped (the
-// affected runs simply re-execute). It returns how many entries were
-// migrated and how many dropped.
+// legacyOptionsV2 mirrors the v2 sim.Options JSON encoding: spec-based
+// prefetchers, but the workload axis still the Workload/TracePath pair.
+type legacyOptionsV2 struct {
+	Workload     string
+	TracePath    string
+	Cores        int
+	Page         mem.PageSize
+	L2PF         prefetch.Spec
+	L1PF         prefetch.Spec
+	L3Policy     string
+	LatePromote  bool
+	Instructions uint64
+	Seed         uint64
+	CPU          cpu.Config
+	MaxCycles    uint64
+	Warmup       uint64
+	WarmupPF     bool
+}
+
+// MigrateCache rewrites every version-1 and version-2 entry under dir to
+// the current schema and key, removing the old file — a schema bump costs
+// a rekey, not a re-simulation. Entries already at the current version are
+// untouched; unreadable or unmappable entries are dropped (the affected
+// runs simply re-execute). It returns how many entries were migrated and
+// how many dropped.
 func MigrateCache(dir string) (migrated, dropped int, err error) {
 	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
@@ -64,27 +87,52 @@ func MigrateCache(dir string) (migrated, dropped int, err error) {
 		if err := json.Unmarshal(b, &probe); err != nil || probe.Version == resultCacheVersion {
 			continue
 		}
-		if probe.Version != 1 {
+		if probe.Version != 1 && probe.Version != 2 {
 			continue // unknown schema: leave it alone
-		}
-		var legacy struct {
-			Options legacyOptionsV1 `json:"options"`
-			Result  sim.Result      `json:"result"`
 		}
 		drop := func() {
 			os.Remove(f)
 			dropped++
 		}
-		if err := json.Unmarshal(b, &legacy); err != nil {
-			drop()
-			continue
+		var opts sim.Options
+		var result sim.Result
+		switch probe.Version {
+		case 1:
+			var legacy struct {
+				Options legacyOptionsV1 `json:"options"`
+				Result  sim.Result      `json:"result"`
+			}
+			if err := json.Unmarshal(b, &legacy); err != nil {
+				drop()
+				continue
+			}
+			if opts, err = migrateOptionsV1(legacy.Options); err != nil {
+				drop()
+				continue
+			}
+			result = legacy.Result
+		case 2:
+			var legacy struct {
+				Options legacyOptionsV2 `json:"options"`
+				Result  sim.Result      `json:"result"`
+			}
+			if err := json.Unmarshal(b, &legacy); err != nil {
+				drop()
+				continue
+			}
+			if opts, err = migrateOptionsV2(legacy.Options); err != nil {
+				drop()
+				continue
+			}
+			result = legacy.Result
 		}
-		opts, err := migrateOptionsV1(legacy.Options)
-		if err != nil {
-			drop()
-			continue
-		}
-		if err := dc.store(OptionsHash(opts), opts, legacy.Result); err != nil {
+		// The stored Result.Workload carries the old era's label; rewrite it
+		// to the spec-form label the engine now produces (for synthetic
+		// workloads the same string, for trace replays "file:sha=…"), so
+		// VerifyCache's byte-exact re-execution diff stays clean on
+		// migrated entries.
+		result.Workload = opts.WorkloadLabel()
+		if err := dc.store(OptionsHash(opts), opts, result); err != nil {
 			return migrated, dropped, err
 		}
 		os.Remove(f)
@@ -93,11 +141,67 @@ func MigrateCache(dir string) (migrated, dropped int, err error) {
 	return migrated, dropped, nil
 }
 
+// migrateWorkloads translates the legacy Workload/TracePath pair into
+// workload specs. A trace replay keeps its path spelling — the stored
+// options must stay locally executable for `bosim -verify`, and
+// OptionsHash keys by content hash either way — but a trace whose file is
+// unreadable cannot be rekeyed (the new key needs its content hash) and is
+// reported as an error, so the entry is dropped.
+func migrateWorkloads(workload, tracePath string) ([]trace.Spec, error) {
+	if tracePath != "" {
+		if _, err := trace.WireSpec(trace.FileSpec(tracePath)); err != nil {
+			return nil, err
+		}
+		return []trace.Spec{trace.FileSpec(tracePath)}, nil
+	}
+	sp, err := trace.ParseSpec(workload)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := trace.Normalize(sp); err != nil {
+		return nil, err
+	}
+	return []trace.Spec{sp}, nil
+}
+
+// migrateOptionsV2 translates the v2 workload encoding into spec form.
+func migrateOptionsV2(l legacyOptionsV2) (sim.Options, error) {
+	ws, err := migrateWorkloads(l.Workload, l.TracePath)
+	if err != nil {
+		return sim.Options{}, err
+	}
+	o := sim.Options{
+		Workloads:    ws,
+		Cores:        l.Cores,
+		Page:         l.Page,
+		L2PF:         l.L2PF,
+		L1PF:         l.L1PF,
+		L3Policy:     l.L3Policy,
+		LatePromote:  l.LatePromote,
+		Instructions: l.Instructions,
+		Seed:         l.Seed,
+		CPU:          l.CPU,
+		MaxCycles:    l.MaxCycles,
+		Warmup:       l.Warmup,
+		WarmupPF:     l.WarmupPF,
+	}
+	if _, err := prefetch.NormalizeL2(o.L2PF); err != nil {
+		return sim.Options{}, err
+	}
+	if _, err := prefetch.NormalizeL1(o.L1PF); err != nil {
+		return sim.Options{}, err
+	}
+	return o, nil
+}
+
 // migrateOptionsV1 translates the enum-era options into spec form.
 func migrateOptionsV1(l legacyOptionsV1) (sim.Options, error) {
+	ws, err := migrateWorkloads(l.Workload, l.TracePath)
+	if err != nil {
+		return sim.Options{}, err
+	}
 	o := sim.Options{
-		Workload:     l.Workload,
-		TracePath:    l.TracePath,
+		Workloads:    ws,
 		Cores:        l.Cores,
 		Page:         l.Page,
 		L3Policy:     l.L3Policy,

@@ -9,6 +9,7 @@ import (
 	"bopsim/internal/prefetch"
 	"bopsim/internal/sim"
 	"bopsim/internal/stats"
+	"bopsim/internal/trace"
 )
 
 // renderTable returns a table's exact output bytes.
@@ -56,7 +57,7 @@ func TestCheckpointReuseAcrossRunners(t *testing.T) {
 	dir := t.TempDir()
 	mk := func() *Runner {
 		r := tinyRunner()
-		r.Benchmarks = []string{"416.gamess"}
+		r.Benchmarks = []trace.Spec{{Name: "416.gamess"}}
 		r.Instructions = 10_000
 		r.Warmup = 10_000
 		r.Checkpoint = true
@@ -113,7 +114,7 @@ func TestWarmupKeyExcludesSweptSpecs(t *testing.T) {
 		}
 	}
 	splitting := map[string]func(*sim.Options){
-		"Workload": func(o *sim.Options) { o.Workload = "470.lbm" },
+		"Workload": func(o *sim.Options) { o.Workloads = []trace.Spec{{Name: "470.lbm"}} },
 		"Seed":     func(o *sim.Options) { o.Seed = 9 },
 		"Cores":    func(o *sim.Options) { o.Cores = 2 },
 		"Warmup":   func(o *sim.Options) { o.Warmup = 5_000 },

@@ -64,8 +64,14 @@ func QuickConfigs() []CoreConfig {
 type Runner struct {
 	Instructions uint64
 	Seed         uint64
-	Benchmarks   []string
-	Configs      []CoreConfig
+	// Benchmarks is the row set of every figure: one workload spec per
+	// row, run on core 0 of each configuration (satellite cores get the
+	// registry's "microthrash" default). The default is the paper's 29
+	// SPEC stand-ins, but any registered spec works — parameterized
+	// ("gups:footprint=64mb"), trace replays ("file:path=x.trace"), or
+	// combinators ("mix:gens=stream+pchase").
+	Benchmarks []trace.Spec
+	Configs    []CoreConfig
 	// Log, when non-nil, receives one line per simulation run or cache
 	// load (concurrent workers' lines are serialized, but their order
 	// follows completion order).
@@ -130,15 +136,16 @@ func NewRunner(instructions uint64, configs []CoreConfig) *Runner {
 	return &Runner{
 		Instructions: instructions,
 		Seed:         1,
-		Benchmarks:   trace.Benchmarks(),
+		Benchmarks:   trace.BenchmarkSpecs(),
 		Configs:      configs,
 		cache:        make(map[string]sim.Result),
 	}
 }
 
 // options builds the default run options for a workload and configuration.
-func (r *Runner) options(wl string, cc CoreConfig) sim.Options {
-	o := sim.DefaultOptions(wl)
+func (r *Runner) options(wl trace.Spec, cc CoreConfig) sim.Options {
+	o := sim.DefaultOptions("")
+	o.Workloads = []trace.Spec{wl}
 	o.Cores = cc.Cores
 	o.Page = cc.Page
 	o.Instructions = r.Instructions
@@ -163,7 +170,7 @@ func (r *Runner) speedupTable(title string, variant func(o sim.Options) sim.Opti
 				v := run(variant(r.options(wl, cc)))
 				row[i] = stats.Speedup(base.IPC, v.IPC)
 			}
-			tb.AddRow(wl, row...)
+			tb.AddRow(wl.String(), row...)
 		}
 		tb.AddGeoMeanRow()
 		return tb
@@ -224,7 +231,7 @@ func (r *Runner) Fig2() *stats.Table {
 			for i, cc := range r.Configs {
 				row[i] = run(r.options(wl, cc)).IPC
 			}
-			tb.AddRow(wl, row...)
+			tb.AddRow(wl.String(), row...)
 		}
 		return tb
 	})
@@ -316,11 +323,13 @@ func (r *Runner) Fig8(offsets []int) *stats.Table {
 	if offsets == nil {
 		offsets = Fig8Offsets()
 	}
-	benchmarks := []string{"433.milc", "459.GemsFDTD", "470.lbm", "462.libquantum"}
+	benchmarks := []trace.Spec{{Name: "433.milc"}, {Name: "459.GemsFDTD"}, {Name: "470.lbm"}, {Name: "462.libquantum"}}
 	cc := CoreConfig{Cores: 1, Page: mem.Page4M}
 	return r.materialize(func(run runFunc) *stats.Table {
 		cols := make([]string, len(benchmarks))
-		copy(cols, benchmarks)
+		for i, b := range benchmarks {
+			cols[i] = b.String()
+		}
 		tb := stats.NewTable("Figure 8: fixed-offset sweep, 4MB pages, 1 core (speedup vs next-line)", cols...)
 		boRow := make([]float64, len(benchmarks))
 		for i, wl := range benchmarks {
@@ -427,7 +436,7 @@ func (r *Runner) Fig12() *stats.Table {
 				oSBP.L2PF = sim.PFSBP
 				row[i] = stats.Speedup(run(oSBP).IPC, run(oBO).IPC)
 			}
-			tb.AddRow(wl, row...)
+			tb.AddRow(wl.String(), row...)
 		}
 		tb.AddGeoMeanRow()
 		return tb
@@ -459,7 +468,7 @@ func (r *Runner) Fig13() *stats.Table {
 			}
 			// The paper omits benchmarks that access DRAM infrequently.
 			if row[1] >= 2 {
-				entries = append(entries, entry{wl, row})
+				entries = append(entries, entry{wl.String(), row})
 			}
 		}
 		sort.Slice(entries, func(i, j int) bool { return entries[i].wl < entries[j].wl })
@@ -497,6 +506,43 @@ func (r *Runner) Zoo() *stats.Table {
 				row[i] = stats.GeoMean(ratios)
 			}
 			tb.AddRow(name, row...)
+		}
+		return tb
+	})
+}
+
+// WorkloadZoo is Zoo's mirror on the workload axis: one row per
+// *registered* workload generator (default parameters), reporting the BO
+// prefetcher's speedup over the next-line baseline across the configured
+// CoreConfigs. Because the row set comes from trace.Names, a generator
+// added by registration alone shows up here — scheduled and cached like
+// every paper figure — with no scheduler change. Generators that need
+// parameters to exist at all (like "file", whose default spec names no
+// trace) are skipped.
+func (r *Runner) WorkloadZoo() *stats.Table {
+	var rows []trace.Spec
+	for _, name := range trace.Names() {
+		spec := trace.Spec{Name: name}
+		if _, err := trace.Normalize(spec); err != nil {
+			continue // not buildable with defaults (e.g. "file")
+		}
+		rows = append(rows, spec)
+	}
+	return r.materialize(func(run runFunc) *stats.Table {
+		cols := make([]string, len(r.Configs))
+		for i, cc := range r.Configs {
+			cols[i] = cc.Label()
+		}
+		tb := stats.NewTable("Workload zoo: registered generators (BO speedup vs next-line)", cols...)
+		for _, wl := range rows {
+			row := make([]float64, len(r.Configs))
+			for i, cc := range r.Configs {
+				base := run(r.options(wl, cc))
+				o := r.options(wl, cc)
+				o.L2PF = sim.PFBO
+				row[i] = stats.Speedup(base.IPC, run(o).IPC)
+			}
+			tb.AddRow(wl.String(), row...)
 		}
 		return tb
 	})

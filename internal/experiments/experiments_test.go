@@ -5,13 +5,14 @@ import (
 	"testing"
 
 	"bopsim/internal/mem"
+	"bopsim/internal/trace"
 )
 
 // tinyRunner keeps experiment tests fast: two benchmarks, one config, short
 // runs.
 func tinyRunner() *Runner {
 	r := NewRunner(40_000, []CoreConfig{{Cores: 1, Page: mem.Page4K}})
-	r.Benchmarks = []string{"416.gamess", "456.hmmer"}
+	r.Benchmarks = []trace.Spec{{Name: "416.gamess"}, {Name: "456.hmmer"}}
 	return r
 }
 
@@ -148,7 +149,7 @@ func TestFig13FiltersQuietBenchmarks(t *testing.T) {
 		}
 	}
 	for _, wl := range r.Benchmarks {
-		if included[wl] {
+		if included[wl.String()] {
 			continue
 		}
 		o := r.options(wl, CoreConfig{Cores: 1, Page: mem.Page4K})

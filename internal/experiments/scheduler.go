@@ -9,6 +9,7 @@ import (
 
 	"bopsim/internal/sim"
 	"bopsim/internal/stats"
+	"bopsim/internal/trace"
 )
 
 // This file is the Runner's scheduler: figures enumerate the simulations
@@ -293,8 +294,11 @@ func (r *Runner) logf(format string, args ...any) {
 // the old enum-era description had to special-case.
 func describeOptions(o sim.Options) string {
 	o = o.Normalized()
+	// trace.SpecsLabel over the just-normalized specs — not WorkloadsLabel,
+	// which would normalize a second time (registry normalization
+	// constructs generators to validate, too much for a log line).
 	d := fmt.Sprintf("%s|%d-core/%s|%s|%s|l1=%s|n=%d|seed=%d",
-		o.Workload, o.Cores, o.Page, o.L2PF, o.L3Policy, o.L1PF, o.Instructions, o.Seed)
+		trace.SpecsLabel(o.Workloads), o.Cores, o.Page, o.L2PF, o.L3Policy, o.L1PF, o.Instructions, o.Seed)
 	if o.Warmup > 0 {
 		d += fmt.Sprintf("|w=%d", o.Warmup)
 	}

@@ -63,7 +63,7 @@ func TestProgressReporting(t *testing.T) {
 // TestRunJobsDedup checks duplicate option sets collapse to one execution.
 func TestRunJobsDedup(t *testing.T) {
 	r := tinyRunner()
-	o := r.options("416.gamess", CoreConfig{Cores: 1, Page: mem.Page4K})
+	o := r.options(trace.MustSpec("416.gamess"), CoreConfig{Cores: 1, Page: mem.Page4K})
 	// Same run spelled three ways: verbatim, duplicated, and with zero
 	// values instead of explicit defaults.
 	zeroSpelling := o
@@ -83,10 +83,10 @@ func TestRunJobsAbortsAfterFailure(t *testing.T) {
 	r := tinyRunner()
 	r.Workers = 1
 	r.MaxErrors = 1
-	bad := r.options("no-such-benchmark", CoreConfig{Cores: 1, Page: mem.Page4K})
+	bad := r.options(trace.MustSpec("no-such-benchmark"), CoreConfig{Cores: 1, Page: mem.Page4K})
 	jobs := []sim.Options{bad}
 	for seed := uint64(1); seed <= 20; seed++ {
-		o := r.options("416.gamess", CoreConfig{Cores: 1, Page: mem.Page4K})
+		o := r.options(trace.MustSpec("416.gamess"), CoreConfig{Cores: 1, Page: mem.Page4K})
 		o.Seed = seed
 		jobs = append(jobs, o)
 	}
@@ -108,9 +108,9 @@ func TestRunJobsAggregatesFailures(t *testing.T) {
 	r := tinyRunner()
 	r.Workers = 2
 	jobs := []sim.Options{
-		r.options("no-such-benchmark-a", CoreConfig{Cores: 1, Page: mem.Page4K}),
-		r.options("416.gamess", CoreConfig{Cores: 1, Page: mem.Page4K}),
-		r.options("no-such-benchmark-b", CoreConfig{Cores: 1, Page: mem.Page4K}),
+		r.options(trace.MustSpec("no-such-benchmark-a"), CoreConfig{Cores: 1, Page: mem.Page4K}),
+		r.options(trace.MustSpec("416.gamess"), CoreConfig{Cores: 1, Page: mem.Page4K}),
+		r.options(trace.MustSpec("no-such-benchmark-b"), CoreConfig{Cores: 1, Page: mem.Page4K}),
 	}
 	err := r.RunJobs(jobs)
 	if err == nil {
@@ -190,11 +190,14 @@ func TestOptionsKeyComplete(t *testing.T) {
 		"L1PF":         func(o *sim.Options) { o.L1PF = prefetch.Spec{Name: "none"} },
 		"L1PF params":  func(o *sim.Options) { o.L1PF = prefetch.MustSpec("stride:dist=8") },
 		"Instructions": func(o *sim.Options) { o.Instructions = 1 },
-		"Workload":     func(o *sim.Options) { o.Workload = "470.lbm" },
-		"CPU":          func(o *sim.Options) { o.CPU.ROBSize = 128 },
-		"Offset d":     func(o *sim.Options) { o.L2PF = sim.PFOffsetD(3) },
-		"Warmup":       func(o *sim.Options) { o.Warmup = 10_000 },
-		"WarmupPF":     func(o *sim.Options) { o.Warmup = 10_000; o.WarmupPF = true },
+		"Workload":     func(o *sim.Options) { o.Workloads = []trace.Spec{{Name: "470.lbm"}} },
+		"Workload params": func(o *sim.Options) {
+			o.Workloads = []trace.Spec{trace.MustSpec("433.milc:footprint=16mb")}
+		},
+		"CPU":      func(o *sim.Options) { o.CPU.ROBSize = 128 },
+		"Offset d": func(o *sim.Options) { o.L2PF = sim.PFOffsetD(3) },
+		"Warmup":   func(o *sim.Options) { o.Warmup = 10_000 },
+		"WarmupPF": func(o *sim.Options) { o.Warmup = 10_000; o.WarmupPF = true },
 	}
 	baseKey := optionsKey(base)
 	for field, mutate := range mutations {
@@ -227,6 +230,68 @@ func TestOptionsKeyComplete(t *testing.T) {
 	if optionsKey(bo1) != optionsKey(bo2) {
 		t.Error("equivalent bo specs hash differently")
 	}
+	// Per-core workload specs participate: changing a satellite core's
+	// workload changes the key, while spelling out the microthrash default
+	// aliases with leaving it implicit.
+	multi := base
+	multi.Cores = 2
+	multiKey := optionsKey(multi)
+	if multiKey == baseKey {
+		t.Error("core count does not change the cache key")
+	}
+	het := multi
+	het.Workloads = []trace.Spec{{Name: "433.milc"}, {Name: "gups"}}
+	if optionsKey(het) == multiKey {
+		t.Error("satellite-core workload does not change the cache key")
+	}
+	spelledSat := multi
+	spelledSat.Workloads = []trace.Spec{{Name: "433.milc"}, {Name: "microthrash"}}
+	if optionsKey(spelledSat) != multiKey {
+		t.Error("explicit microthrash satellite hashes differently from the implicit default")
+	}
+	spelledWL := base
+	spelledWL.Workloads = []trace.Spec{trace.MustSpec("433.milc:memper1000=260")}
+	if optionsKey(spelledWL) != baseKey {
+		t.Error("workload spec with spelled-out default parameter hashes differently")
+	}
+	// Workload-less options must NOT alias an explicit microthrash run:
+	// normalization fills satellite slots only, so a caller who forgot to
+	// set a workload can never be served a cached microthrash result.
+	empty := base
+	empty.Workloads = nil
+	thrash := base
+	thrash.Workloads = []trace.Spec{{Name: "microthrash"}}
+	if optionsKey(empty) == optionsKey(thrash) {
+		t.Error("empty workload list hashes like an explicit microthrash run")
+	}
+}
+
+// TestRunJobsSurfacesBadWorkloadSpecs checks the satellite fix for unknown
+// workloads: a sweep containing a bad generator name or a bad parameter
+// reports each as a per-job error through RunJobs' errors.Join path —
+// valid jobs still execute — instead of any panic escaping the scheduler.
+func TestRunJobsSurfacesBadWorkloadSpecs(t *testing.T) {
+	r := tinyRunner()
+	r.Workers = 2
+	r.MaxErrors = 8
+	cc := CoreConfig{Cores: 1, Page: mem.Page4K}
+	jobs := []sim.Options{
+		r.options(trace.Spec{Name: "no-such-workload"}, cc),
+		r.options(trace.MustSpec("stream:stride=bogus"), cc),
+		r.options(trace.Spec{Name: "416.gamess"}, cc),
+	}
+	err := r.RunJobs(jobs)
+	if err == nil {
+		t.Fatal("RunJobs returned no error for two bad workload specs")
+	}
+	for _, want := range []string{"no-such-workload", "stride"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error missing %q:\n%v", want, err)
+		}
+	}
+	if got := r.Executed(); got != 1 {
+		t.Errorf("executed %d simulations, want 1 (the valid job)", got)
+	}
 }
 
 // TestTraceContentKeysCache checks trace replays are keyed by file content:
@@ -243,7 +308,7 @@ func TestTraceContentKeysCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := sim.DefaultOptions("456.hmmer")
-	o.TracePath = pathA
+	o.Workloads = []trace.Spec{trace.FileSpec(pathA)}
 	keyA := optionsKey(o)
 
 	// A byte-identical copy under another name is the same run.
@@ -256,7 +321,7 @@ func TestTraceContentKeysCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	oB := o
-	oB.TracePath = pathB
+	oB.Workloads = []trace.Spec{trace.FileSpec(pathB)}
 	if optionsKey(oB) != keyA {
 		t.Error("identical trace content at a different path changed the key")
 	}

@@ -193,7 +193,7 @@ func TestTraceReplayMatchesGenerator(t *testing.T) {
 		t.Fatal(err)
 	}
 	replay := direct
-	replay.TracePath = path
+	replay.Workloads = []trace.Spec{trace.FileSpec(path)}
 	rReplay, err := Run(replay)
 	if err != nil {
 		t.Fatal(err)

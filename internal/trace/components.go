@@ -198,6 +198,13 @@ func newStripes(pcBase uint64, base mem.Addr, stripes, chunkWords int, region me
 		maxLag:     maxLag,
 		storePct:   storePct,
 	}
+	if s.posPerStr < 1 {
+		// A region too small for the stripe count would divide by zero in
+		// next (pos % posPerStr). The spec layer's footprint floor keeps
+		// every registered configuration well clear of this; the clamp is a
+		// hard guard so no parameter combination can panic mid-simulation.
+		s.posPerStr = 1
+	}
 	return s
 }
 
@@ -214,6 +221,9 @@ func newStripesPattern(pcBase uint64, base mem.Addr, stripes int, strideSeq []in
 	// With explicit strides, positions count pattern steps; the stripe
 	// wraps when its line offset would leave the region.
 	s.posPerStr = (int64(region)/mem.LineSize - int64(stripes)) / s.period * int64(len(strideSeq))
+	if s.posPerStr < 1 {
+		s.posPerStr = 1 // see newStripes: never divide by zero in next
+	}
 	return s
 }
 

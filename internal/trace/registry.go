@@ -1,0 +1,399 @@
+package trace
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bopsim/internal/mem"
+)
+
+// This file is the workload-generator registry, the workload-axis mirror of
+// the prefetcher registry (internal/prefetch/registry.go). Each generator
+// package — the SPEC stand-ins, the parameterized micro-patterns, the trace
+// replayer — registers a Definition for its name in an init function, and
+// everything above the registry (the engine, the experiment scheduler, the
+// CLIs) constructs generators from Specs only, so opening a new workload
+// never touches those layers.
+
+// Definition describes one registered workload generator.
+type Definition struct {
+	// Defaults enumerates every accepted parameter key with the canonical
+	// rendering of its default value (the empty string marks a parameter
+	// with no default, like file's path). A spec naming a key outside this
+	// set is rejected, and Normalize drops parameters spelled with their
+	// default value, so equivalent specs share one canonical form (and one
+	// cache key).
+	Defaults map[string]string
+	// Build constructs the generator. seed is the run-derived seed for the
+	// core the generator will drive (Options.Seed + core*7919); a spec's
+	// explicit seed parameter overrides it (see Values.Seed). Keys have
+	// been validated against Defaults already; Build parses the values and
+	// may reject semantically invalid combinations.
+	Build func(seed uint64, v Values) (Generator, error)
+	// Validate, when non-nil, replaces the Build-based parameter check in
+	// Normalize. Generators whose construction has side effects or real
+	// cost (file opens and parses a whole trace) use it so normalization
+	// stays cheap and pure.
+	Validate func(v Values) error
+	// SizeKeys lists the parameter keys whose values are byte sizes.
+	// Normalize re-renders them canonically (FormatSize of ParseSize), so
+	// "128MB", "134217728" and "128mb" are one canonical form — and one
+	// cache key, one warmup signature. Keys not listed keep their raw
+	// spelling (a seed of 4096 must not become "4kb").
+	SizeKeys []string
+	// IntKeys lists the parameter keys whose values are plain integers or
+	// '+'-separated integer lists (weights); Normalize re-renders them
+	// canonically too, so "064" and "64" are one spelling of one stride
+	// and "03+1" one spelling of weights "3+1". String-typed keys (gens,
+	// path, sha) must not appear in either list — a digits-only name or
+	// hash would be corrupted by numeric re-rendering.
+	IntKeys []string
+	// CanonicalizeParams, when non-nil, runs on the validated parameter
+	// map during Normalize, after default-valued keys have been dropped.
+	// It handles cross-parameter defaults the per-key string comparison
+	// cannot see — mix deletes an explicitly-spelled all-ones weights
+	// list, which is the implicit default for any gens value.
+	CanonicalizeParams func(params map[string]string)
+	// Help is a one-line description for -list-workloads output.
+	Help string
+}
+
+var genRegistry = struct {
+	mu   sync.RWMutex
+	defs map[string]Definition
+}{defs: make(map[string]Definition)}
+
+// Register registers a workload generator definition under name. It panics
+// on a duplicate or syntactically invalid name — registration is an
+// init-time programming action, not a runtime input.
+func Register(name string, def Definition) {
+	if err := checkSpecName(name); err != nil {
+		panic(fmt.Sprintf("trace: invalid registration name %q: %v", name, err))
+	}
+	if def.Build == nil {
+		panic(fmt.Sprintf("trace: registration %q has no Build", name))
+	}
+	genRegistry.mu.Lock()
+	defer genRegistry.mu.Unlock()
+	if _, dup := genRegistry.defs[name]; dup {
+		panic(fmt.Sprintf("trace: workload generator %q registered twice", name))
+	}
+	genRegistry.defs[name] = def
+}
+
+// NewGenerator builds the workload generator described by spec, seeding it
+// with seed unless the spec carries an explicit seed parameter. Unknown
+// names and parameters, and invalid parameter values, are errors.
+func NewGenerator(spec Spec, seed uint64) (Generator, error) {
+	def, spec, err := lookupGen(spec)
+	if err != nil {
+		return nil, err
+	}
+	g, err := def.Build(seed, Values(spec.Params))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %v", spec.Name, err)
+	}
+	return g, nil
+}
+
+// Normalize validates spec against the registry and returns its canonical
+// form: parameters restricted to the registered key set and parameters
+// spelled with their default value dropped — so "stream:stride=64" and
+// "stream" normalize (and therefore hash) identically.
+func Normalize(spec Spec) (Spec, error) {
+	def, spec, err := lookupGen(spec)
+	if err != nil {
+		return Spec{}, err
+	}
+	if def.Validate != nil {
+		if err := def.Validate(Values(spec.Params)); err != nil {
+			return Spec{}, fmt.Errorf("trace: %s: %v", spec.Name, err)
+		}
+	} else if _, err := def.Build(1, Values(spec.Params)); err != nil {
+		// Building validates the parameter values; generator construction
+		// is cheap by design for everything that opts out via Validate.
+		return Spec{}, fmt.Errorf("trace: %s: %v", spec.Name, err)
+	}
+	out := Spec{Name: spec.Name}
+	for key, value := range spec.Params {
+		// Size- and integer-typed values re-render canonically first, so
+		// every spelling of one value shares one canonical form (and
+		// default-valued ones string-match the registered default below).
+		switch {
+		case slices.Contains(def.SizeKeys, key):
+			if n, err := ParseSize(value); err == nil {
+				value = FormatSize(n)
+			}
+		case slices.Contains(def.IntKeys, key):
+			if canon, ok := canonIntList(value); ok {
+				value = canon
+			}
+		}
+		if def.Defaults[key] == value {
+			continue // spelled-out default: drop for a stable canonical form
+		}
+		if out.Params == nil {
+			out.Params = make(map[string]string)
+		}
+		out.Params[key] = value
+	}
+	if def.CanonicalizeParams != nil && out.Params != nil {
+		def.CanonicalizeParams(out.Params)
+		if len(out.Params) == 0 {
+			out.Params = nil
+		}
+	}
+	return out, nil
+}
+
+// canonIntList re-renders a decimal integer or '+'-separated integer list
+// in canonical form; inputs with any non-integer element pass through
+// untouched (Build reports the real error). Unsigned parsing comes first
+// so the full uint64 seed range canonicalizes, not just int64's.
+func canonIntList(value string) (string, bool) {
+	parts := strings.Split(value, "+")
+	for i, p := range parts {
+		if n, err := strconv.ParseUint(p, 10, 64); err == nil {
+			parts[i] = strconv.FormatUint(n, 10)
+			continue
+		}
+		n, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return "", false
+		}
+		parts[i] = strconv.FormatInt(n, 10)
+	}
+	return strings.Join(parts, "+"), true
+}
+
+// Names returns the sorted names of every registered workload generator.
+func Names() []string {
+	genRegistry.mu.RLock()
+	defer genRegistry.mu.RUnlock()
+	out := make([]string, 0, len(genRegistry.defs))
+	for k := range genRegistry.defs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Help returns the registered help line for name ("" when unknown).
+func Help(name string) string {
+	genRegistry.mu.RLock()
+	defer genRegistry.mu.RUnlock()
+	return genRegistry.defs[name].Help
+}
+
+// ParamDefaults returns a copy of the registered parameter schema for name:
+// every accepted key with its canonical default rendering. The second
+// result reports whether the name is registered.
+func ParamDefaults(name string) (map[string]string, bool) {
+	genRegistry.mu.RLock()
+	defer genRegistry.mu.RUnlock()
+	def, ok := genRegistry.defs[name]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]string, len(def.Defaults))
+	for k, v := range def.Defaults {
+		out[k] = v
+	}
+	return out, true
+}
+
+func lookupGen(spec Spec) (Definition, Spec, error) {
+	spec = spec.Canonical()
+	genRegistry.mu.RLock()
+	def, ok := genRegistry.defs[spec.Name]
+	genRegistry.mu.RUnlock()
+	if !ok {
+		if err := checkSpecName(spec.Name); err != nil {
+			// A syntactically invalid name usually means an unparsed spec
+			// string landed in Spec.Name; point at the real problem rather
+			// than "unknown workload".
+			return Definition{}, Spec{}, fmt.Errorf("trace: invalid workload spec name %q: %v (parameterized specs are name:key=value,...)",
+				spec.Name, err)
+		}
+		return Definition{}, Spec{}, fmt.Errorf("trace: unknown workload %q (registered: %s)",
+			spec.Name, strings.Join(Names(), "|"))
+	}
+	for key := range spec.Params {
+		if _, known := def.Defaults[key]; !known {
+			keys := make([]string, 0, len(def.Defaults))
+			for k := range def.Defaults {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return Definition{}, Spec{}, fmt.Errorf("trace: %s has no parameter %q (accepted: %s)",
+				spec.Name, key, strings.Join(keys, "|"))
+		}
+	}
+	return def, spec, nil
+}
+
+// FileSpec returns the spec replaying the recorded trace at path — the
+// spec-form spelling of the historical Options.TracePath escape hatch.
+func FileSpec(path string) Spec {
+	return Spec{Name: "file", Params: map[string]string{"path": path}}
+}
+
+// HashSpec returns the spec in hash form: the spelling everything
+// content-addressed (cache keys, warmup signatures, the distrib wire) uses.
+// File specs are keyed by their trace's content SHA-256, never by path —
+// editing a trace invalidates its cached results, and a worker's local copy
+// hashes identically — so a resolvable path parameter is replaced by the
+// content hash. Every other spec is returned unchanged. An unreadable
+// trace falls back to the path spelling (the simulation will fail with the
+// real error anyway).
+func HashSpec(s Spec) Spec {
+	if s.Name != "file" {
+		return s
+	}
+	path, ok := s.Get("path")
+	if !ok {
+		return s
+	}
+	sha := ContentSHA(path)
+	if sha == "" {
+		return s
+	}
+	// Parameters other than path survive: a future file knob must keep
+	// participating in cache keys and warmup signatures.
+	return s.Without("path").With("sha", sha)
+}
+
+// WireSpec is HashSpec with an error for unreadable traces: the distrib
+// coordinator must not ship a file job it cannot identify by content.
+func WireSpec(s Spec) (Spec, error) {
+	hs := HashSpec(s)
+	if hs.Name == "file" {
+		if _, ok := hs.Get("sha"); !ok {
+			path, _ := s.Get("path")
+			return Spec{}, fmt.Errorf("trace: %s unreadable, cannot ship by content hash", path)
+		}
+	}
+	return hs, nil
+}
+
+// Values is the parameter map a Build function parses. The typed accessors
+// take the default and an error accumulator: the first failed parse wins,
+// so a factory reads every parameter unconditionally and checks err once.
+type Values map[string]string
+
+// Int parses an integer parameter.
+func (v Values) Int(key string, def int, err *error) int {
+	raw, ok := v[key]
+	if !ok {
+		return def
+	}
+	n, e := strconv.Atoi(raw)
+	if e != nil {
+		setGenErr(err, fmt.Errorf("parameter %s=%q: not an integer", key, raw))
+		return def
+	}
+	return n
+}
+
+// Seed resolves the generator seed: an explicit non-zero seed parameter
+// wins, otherwise the run-derived seed passed to Build ("seed=0", the
+// registered default, means "use the run seed").
+func (v Values) Seed(derived uint64, err *error) uint64 {
+	raw, ok := v["seed"]
+	if !ok {
+		return derived
+	}
+	n, e := strconv.ParseUint(raw, 10, 64)
+	if e != nil {
+		setGenErr(err, fmt.Errorf("parameter seed=%q: not an unsigned integer", raw))
+		return derived
+	}
+	if n == 0 {
+		return derived
+	}
+	return n
+}
+
+// Ints parses a '+'-separated integer list parameter (e.g. "2+1").
+func (v Values) Ints(key string, def []int, err *error) []int {
+	raw, ok := v[key]
+	if !ok {
+		return def
+	}
+	parts := strings.Split(raw, "+")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, e := strconv.Atoi(p)
+		if e != nil {
+			setGenErr(err, fmt.Errorf("parameter %s=%q: %q is not an integer", key, raw, p))
+			return def
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Size parses a byte-size parameter: a decimal byte count or a kb/mb/gb
+// suffixed value ("64mb", "512kb").
+func (v Values) Size(key string, def mem.Addr, err *error) mem.Addr {
+	raw, ok := v[key]
+	if !ok {
+		return def
+	}
+	n, e := ParseSize(raw)
+	if e != nil {
+		setGenErr(err, fmt.Errorf("parameter %s=%q: %v", key, raw, e))
+		return def
+	}
+	return n
+}
+
+func setGenErr(err *error, e error) {
+	if *err == nil {
+		*err = e
+	}
+}
+
+// ParseSize parses a byte size: plain decimal bytes or kb/mb/gb suffixed
+// (case-insensitive).
+func ParseSize(raw string) (mem.Addr, error) {
+	s := strings.ToLower(strings.TrimSpace(raw))
+	mult := mem.Addr(1)
+	switch {
+	case strings.HasSuffix(s, "kb"):
+		mult, s = kb, s[:len(s)-2]
+	case strings.HasSuffix(s, "mb"):
+		mult, s = mb, s[:len(s)-2]
+	case strings.HasSuffix(s, "gb"):
+		mult, s = mb<<10, s[:len(s)-2]
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a size (want bytes or kb/mb/gb suffix)")
+	}
+	out := mem.Addr(n) * mult
+	if n != 0 && out/mult != mem.Addr(n) {
+		return 0, fmt.Errorf("size overflows")
+	}
+	return out, nil
+}
+
+// FormatSize renders a byte size in the canonical form ParseSize parses:
+// the largest exact kb/mb/gb suffix, plain bytes otherwise.
+func FormatSize(a mem.Addr) string {
+	gb := mb << 10
+	switch {
+	case a >= gb && a%gb == 0:
+		return strconv.FormatUint(uint64(a/gb), 10) + "gb"
+	case a >= mb && a%mb == 0:
+		return strconv.FormatUint(uint64(a/mb), 10) + "mb"
+	case a >= kb && a%kb == 0:
+		return strconv.FormatUint(uint64(a/kb), 10) + "kb"
+	default:
+		return strconv.FormatUint(uint64(a), 10)
+	}
+}

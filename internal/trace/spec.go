@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec is a self-describing workload configuration: a registered generator
+// name plus free-form string parameters that the generator's factory parses
+// and validates. It mirrors prefetch.Spec on the workload axis, replacing
+// the historical closed benchmark table (and the TracePath escape hatch:
+// "file" is just another registered generator).
+//
+// The canonical string form is
+//
+//	name[:key=value[,key=value]...]
+//
+// e.g. "429.mcf", "stream:stride=128", "gups:footprint=64mb",
+// "file:path=milc.trace". Names are case-sensitive [A-Za-z0-9._-] — the
+// SPEC stand-ins keep their published spellings ("459.GemsFDTD") — while
+// keys are lowercase [a-z0-9_-]; values may not contain ',', '=', ':', ';'
+// or whitespace (lists use '+' as separator, e.g. "weights=2+1"; ';'
+// separates per-core specs at the CLI). String renders keys sorted, so the
+// canonical form — and anything hashed from it — is deterministic.
+type Spec struct {
+	Name   string            `json:"name"`
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// ParseSpec parses the canonical string form. The result is syntactically
+// canonical (lowercased keys, no empty map); whether the name is registered
+// and the parameters valid is checked by NewGenerator (or Normalize).
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	name, rest, hasParams := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if err := checkSpecName(name); err != nil {
+		return Spec{}, fmt.Errorf("trace: bad workload spec name %q: %v", name, err)
+	}
+	sp := Spec{Name: name}
+	if !hasParams {
+		return sp, nil
+	}
+	sp.Params = make(map[string]string)
+	for _, kv := range strings.Split(rest, ",") {
+		key, value, ok := strings.Cut(kv, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		if !ok || key == "" || value == "" {
+			return Spec{}, fmt.Errorf("trace: bad spec parameter %q in %q (want key=value)", kv, s)
+		}
+		if err := checkSpecKey(key); err != nil {
+			return Spec{}, fmt.Errorf("trace: bad parameter key %q: %v", key, err)
+		}
+		if err := checkSpecValue(value); err != nil {
+			return Spec{}, fmt.Errorf("trace: bad value %q for %q: %v", value, key, err)
+		}
+		if _, dup := sp.Params[key]; dup {
+			return Spec{}, fmt.Errorf("trace: duplicate parameter %q in %q", key, s)
+		}
+		sp.Params[key] = value
+	}
+	if len(sp.Params) == 0 {
+		return Spec{}, fmt.Errorf("trace: empty parameter list in %q", s)
+	}
+	return sp, nil
+}
+
+// ParseSpecList parses a ';'-separated list of workload specs — the CLI
+// form of a per-core assignment ("gups:footprint=64mb;stream:stride=128").
+// Position is load-bearing (entry i drives core i), so an interior empty
+// segment is an error rather than a silent compaction that would shift
+// later specs onto the wrong cores; only a trailing ';' is tolerated.
+func ParseSpecList(s string) ([]Spec, error) {
+	parts := strings.Split(s, ";")
+	for len(parts) > 0 && strings.TrimSpace(parts[len(parts)-1]) == "" {
+		parts = parts[:len(parts)-1]
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trace: empty workload spec list %q", s)
+	}
+	out := make([]Spec, 0, len(parts))
+	for i, part := range parts {
+		if strings.TrimSpace(part) == "" {
+			return nil, fmt.Errorf("trace: empty workload spec at position %d of %q (each ';'-separated entry drives one core)", i, s)
+		}
+		sp, err := ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// SpecsLabel renders a per-core spec assignment for logs and status lines:
+// canonical strings joined by ';', with trailing default-thrasher entries
+// trimmed so legacy single-workload runs read as before. Callers pass
+// already-canonical specs (this does not consult the registry).
+func SpecsLabel(ws []Spec) string {
+	for len(ws) > 1 && ws[len(ws)-1].String() == "microthrash" {
+		ws = ws[:len(ws)-1]
+	}
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = w.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// MustSpec is ParseSpec that panics on error, for tests and examples.
+func MustSpec(s string) Spec {
+	sp, err := ParseSpec(s)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// String renders the canonical form: parameters sorted by key.
+// ParseSpec(s.String()) reproduces s exactly for any canonical s.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for i, key := range s.sortedKeys() {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(s.Params[key])
+	}
+	return b.String()
+}
+
+// IsZero reports whether the spec is unset (no name).
+func (s Spec) IsZero() bool { return s.Name == "" }
+
+// Equal reports whether two specs are canonically identical.
+func (s Spec) Equal(o Spec) bool { return s.String() == o.String() }
+
+// Get returns the raw value of one parameter.
+func (s Spec) Get(key string) (string, bool) {
+	v, ok := s.Params[key]
+	return v, ok
+}
+
+// With returns a copy of the spec with one parameter set; the receiver is
+// not modified. It is the programmatic way to build sweep variants:
+// spec.With("footprint", "128mb").
+func (s Spec) With(key, value string) Spec {
+	out := Spec{Name: s.Name, Params: make(map[string]string, len(s.Params)+1)}
+	for k, v := range s.Params {
+		out.Params[k] = v
+	}
+	out.Params[strings.ToLower(key)] = value
+	return out
+}
+
+// Without returns a copy of the spec with one parameter removed.
+func (s Spec) Without(key string) Spec {
+	out := Spec{Name: s.Name}
+	for k, v := range s.Params {
+		if k == key {
+			continue
+		}
+		if out.Params == nil {
+			out.Params = make(map[string]string, len(s.Params))
+		}
+		out.Params[k] = v
+	}
+	return out
+}
+
+// Canonical returns the spec in syntactic canonical form: lowercased keys,
+// nil map when empty, copied map otherwise (so the result shares no state
+// with the receiver). It does not consult the registry; Normalize
+// additionally validates the name and drops default-valued parameters.
+func (s Spec) Canonical() Spec {
+	out := Spec{Name: s.Name}
+	if len(s.Params) == 0 {
+		return out
+	}
+	out.Params = make(map[string]string, len(s.Params))
+	for k, v := range s.Params {
+		out.Params[strings.ToLower(k)] = v
+	}
+	return out
+}
+
+func (s Spec) sortedKeys() []string {
+	if len(s.Params) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// checkSpecName validates a generator name: non-empty, case-sensitive
+// [A-Za-z0-9._-] (the SPEC benchmark stand-ins keep their published
+// spellings, dots included).
+func checkSpecName(t string) error {
+	if t == "" {
+		return fmt.Errorf("empty")
+	}
+	for _, r := range t {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("character %q not allowed", r)
+		}
+	}
+	return nil
+}
+
+// checkSpecKey validates a parameter key: non-empty lowercase [a-z0-9_-].
+func checkSpecKey(t string) error {
+	if t == "" {
+		return fmt.Errorf("empty")
+	}
+	for _, r := range t {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return fmt.Errorf("character %q not allowed", r)
+		}
+	}
+	return nil
+}
+
+// checkSpecValue validates a parameter value: non-empty, printable, and
+// free of the spec syntax characters (including ';', the per-core list
+// separator) so String() always re-parses.
+func checkSpecValue(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty")
+	}
+	for _, r := range v {
+		switch {
+		case r == ',' || r == '=' || r == ':' || r == ';':
+			return fmt.Errorf("character %q not allowed", r)
+		case r <= ' ' || r == 0x7f:
+			return fmt.Errorf("whitespace/control characters not allowed")
+		}
+	}
+	return nil
+}

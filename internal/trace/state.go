@@ -15,7 +15,11 @@ import (
 
 // GenState is the serialized cursor of one generator. Kind selects which
 // fields are meaningful: "workload" uses Rand/AluPC/Comps, "file" uses
-// Idx/Wraps.
+// Idx/Wraps, "mix" uses Rand/Subs (one entry per sub-generator). Kinds are
+// the workload counterpart of prefetch.StateCodec: every registered
+// generator implements StatefulGenerator, whose save/restore pair is the
+// codec for its kind, and restore validates the kind tag so a cursor can
+// never be fed into a generator of a different shape.
 type GenState struct {
 	Kind  string
 	Rand  uint64
@@ -23,6 +27,7 @@ type GenState struct {
 	Comps []ComponentState
 	Idx   int
 	Wraps uint64
+	Subs  []GenState
 }
 
 // ComponentState is the cursor of one workload pattern component. It is the
@@ -49,6 +54,7 @@ type StatefulGenerator interface {
 var (
 	_ StatefulGenerator = (*Workload)(nil)
 	_ StatefulGenerator = (*FileTrace)(nil)
+	_ StatefulGenerator = (*mixGen)(nil)
 )
 
 // SaveGenState implements StatefulGenerator.

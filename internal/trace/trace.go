@@ -1,9 +1,14 @@
 // Package trace defines the instruction stream format consumed by the core
-// model and the synthetic workload generators standing in for the paper's
-// SPEC CPU2006 traces (see DESIGN.md for the substitution rationale). Each
-// generator is an infinite, deterministic instruction stream whose memory
-// behaviour models the published access-pattern characteristics of one
-// benchmark: long sequential streams, constant-stride streams with the
+// model and the workload generators that produce it. Generators are
+// configured through Spec and a registry (see spec.go and registry.go, the
+// workload-axis mirror of internal/prefetch): the SPEC CPU2006 stand-ins
+// (see DESIGN.md for the substitution rationale), parameterized
+// micro-patterns (stream, pchase, gups, the mix combinator, the
+// microthrash satellite workload) and recorded-trace replay ("file") are
+// all registered generators, so opening a new workload is a registration,
+// not an engine edit. Each generator is an infinite, deterministic
+// instruction stream whose memory behaviour models one access-pattern
+// regime: long sequential streams, constant-stride streams with the
 // periods reported in Figure 8, interleaved streams, pointer chasing, or
 // cache-resident compute.
 package trace
