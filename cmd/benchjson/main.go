@@ -1,0 +1,263 @@
+// Command benchjson captures a benchmark trajectory point: it runs
+// `go test -bench` in the repository root, parses the standard benchmark
+// output (including -benchmem columns and custom ReportMetric metrics such
+// as sim-instr/s), and writes one BENCH_NNNN_<label>.json file per capture.
+// The committed BENCH_*.json sequence is the repo's perf trajectory; CI
+// appends short-budget points and fails the build when throughput regresses
+// more than -maxloss versus the last committed point (see -check).
+//
+// Usage:
+//
+//	benchjson -label eventdriven [-bench regex] [-benchtime 3x] [-out DIR]
+//	benchjson -check [-bench regex] [-benchtime 1x] [-maxloss 0.20]
+//
+// -check captures a fresh point, compares it against the newest committed
+// BENCH_*.json, and exits non-zero on regression without writing a file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom testing.B.ReportMetric values by unit, e.g.
+	// "sim-instr/s" for the headline engine benchmarks.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Point is one trajectory file.
+type Point struct {
+	Label     string  `json:"label"`
+	Timestamp string  `json:"timestamp"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	BenchTime string  `json:"benchtime"`
+	Benches   []Bench `json:"benches"`
+}
+
+func main() {
+	var (
+		label     = flag.String("label", "", "trajectory point label (required unless -check)")
+		benchRe   = flag.String("bench", "BenchmarkTable1BaselineRun|BenchmarkRunnerParallel|BenchmarkWorkloadGen", "go test -bench regex")
+		benchTime = flag.String("benchtime", "3x", "go test -benchtime value")
+		outDir    = flag.String("out", ".", "directory holding BENCH_*.json (repo root)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		check     = flag.Bool("check", false, "compare against the last committed point instead of writing a new one")
+		maxLoss   = flag.Float64("maxloss", 0.20, "maximum tolerated fractional sims/s loss in -check mode")
+		keyBench  = flag.String("key", "BenchmarkTable1BaselineRun", "benchmark whose sim-instr/s metric anchors the -check comparison")
+	)
+	flag.Parse()
+	if !*check && *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required when capturing (or use -check)")
+		os.Exit(2)
+	}
+
+	out, err := runBench(*pkg, *benchRe, *benchTime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	benches, err := ParseBenchOutput(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines matched -bench %q\n", *benchRe)
+		os.Exit(1)
+	}
+	pt := Point{
+		Label:     *label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		BenchTime: *benchTime,
+		Benches:   benches,
+	}
+
+	if *check {
+		last, path, err := lastPoint(*outDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := comparePoints(last, pt, *keyBench, *maxLoss); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: regression vs %s: %v\n", filepath.Base(path), err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: ok vs %s\n", filepath.Base(path))
+		report(pt)
+		return
+	}
+
+	seq, err := nextSeq(*outDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	pt.Label = *label
+	path := filepath.Join(*outDir, fmt.Sprintf("BENCH_%04d_%s.json", seq, *label))
+	data, err := json.MarshalIndent(pt, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s\n", path)
+	report(pt)
+}
+
+func runBench(pkg, benchRe, benchTime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", benchRe,
+		"-benchtime", benchTime, "-benchmem", pkg)
+	b, err := cmd.CombinedOutput()
+	return string(b), err
+}
+
+func report(pt Point) {
+	for _, b := range pt.Benches {
+		line := fmt.Sprintf("  %-40s %14.0f ns/op", b.Name, b.NsPerOp)
+		if v, ok := b.Metrics["sim-instr/s"]; ok {
+			line += fmt.Sprintf("  %12.0f sim-instr/s", v)
+		}
+		if b.AllocsPerOp > 0 {
+			line += fmt.Sprintf("  %10.0f allocs/op", b.AllocsPerOp)
+		}
+		fmt.Println(line)
+	}
+}
+
+// benchLine matches "BenchmarkFoo-8   3   194447949 ns/op   771417 sim-instr/s ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// ParseBenchOutput extracts benchmark results from go test -bench output.
+func ParseBenchOutput(out string) ([]Bench, error) {
+	var benches []Bench
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q", line)
+		}
+		b := Bench{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				b.Metrics[unit] = val
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}
+
+// nextSeq returns one past the highest committed BENCH_NNNN_*.json sequence.
+func nextSeq(dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_[0-9][0-9][0-9][0-9]_*.json"))
+	if err != nil {
+		return 0, err
+	}
+	seq := 0
+	for _, p := range paths {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(p), "BENCH_%04d_", &n); err == nil && n+1 > seq {
+			seq = n + 1
+		}
+	}
+	return seq, nil
+}
+
+// lastPoint loads the newest committed trajectory point.
+func lastPoint(dir string) (Point, string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_[0-9][0-9][0-9][0-9]_*.json"))
+	if err != nil {
+		return Point{}, "", err
+	}
+	if len(paths) == 0 {
+		return Point{}, "", fmt.Errorf("no committed BENCH_*.json in %s", dir)
+	}
+	sort.Strings(paths)
+	path := paths[len(paths)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Point{}, "", err
+	}
+	var pt Point
+	if err := json.Unmarshal(data, &pt); err != nil {
+		return Point{}, "", fmt.Errorf("%s: %v", path, err)
+	}
+	return pt, path, nil
+}
+
+// comparePoints fails when the fresh capture's key throughput metric fell
+// more than maxLoss below the committed point's.
+func comparePoints(committed, fresh Point, key string, maxLoss float64) error {
+	oldV, err := keyMetric(committed, key)
+	if err != nil {
+		return fmt.Errorf("committed point: %v", err)
+	}
+	newV, err := keyMetric(fresh, key)
+	if err != nil {
+		return fmt.Errorf("fresh capture: %v", err)
+	}
+	if newV < oldV*(1-maxLoss) {
+		return fmt.Errorf("%s sim-instr/s %.0f -> %.0f (-%.1f%%, limit %.0f%%)",
+			key, oldV, newV, (1-newV/oldV)*100, maxLoss*100)
+	}
+	fmt.Printf("benchjson: %s sim-instr/s %.0f -> %.0f (%+.1f%%)\n", key, oldV, newV, (newV/oldV-1)*100)
+	return nil
+}
+
+func keyMetric(pt Point, key string) (float64, error) {
+	for _, b := range pt.Benches {
+		if b.Name == key {
+			if v, ok := b.Metrics["sim-instr/s"]; ok {
+				return v, nil
+			}
+			return 0, fmt.Errorf("%s has no sim-instr/s metric", key)
+		}
+	}
+	return 0, fmt.Errorf("no %s result", key)
+}

@@ -41,6 +41,7 @@ import (
 	"bopsim/internal/experiments"
 	"bopsim/internal/mem"
 	"bopsim/internal/prefetch"
+	"bopsim/internal/profiling"
 	"bopsim/internal/sim"
 	"bopsim/internal/trace"
 )
@@ -74,9 +75,19 @@ func main() {
 		verify       = flag.Bool("verify", false, "verify a result cache: re-execute sampled entries from -cache and diff against the stored results")
 		cacheDir     = flag.String("cache", "", "result-cache directory for -verify")
 		verifySample = flag.Int("verify-sample", 8, "how many cache entries -verify re-executes (0: all)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.StringVar(workload, "wl", "462.libquantum", "alias of -workload")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosim: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, b := range trace.Benchmarks() {
@@ -183,6 +194,7 @@ func main() {
 		os.Exit(1)
 	}
 	output(s.Options(), r, interrupted, *jsonOut)
+	stopProfiles() // exitInterrupted bypasses deferred calls
 	exitInterrupted(interrupted)
 }
 

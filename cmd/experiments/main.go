@@ -32,6 +32,7 @@ import (
 	"bopsim/internal/distrib"
 	"bopsim/internal/experiments"
 	"bopsim/internal/plot"
+	"bopsim/internal/profiling"
 	"bopsim/internal/stats"
 	"bopsim/internal/trace"
 )
@@ -60,12 +61,23 @@ func main() {
 		zoo    = flag.Bool("zoo", false, "run every registered L2 prefetcher (the registry-driven ablation sweep)")
 		wzoo   = flag.Bool("wzoo", false, "run every registered workload generator (the workload-axis registry sweep)")
 		doPlot = flag.Bool("plot", false, "render each figure's first column as an ASCII chart")
-		fig    [14]*bool
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at the end of the sweep to this file")
+
+		fig [14]*bool
 	)
 	for i := 2; i <= 13; i++ {
 		fig[i] = flag.Bool(fmt.Sprintf("fig%d", i), false, fmt.Sprintf("regenerate Figure %d", i))
 	}
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	if *cacheDir != "" {
 		// Rewrite any enum-era (v1) entries to the spec-based schema before

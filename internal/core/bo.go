@@ -94,6 +94,8 @@ type Prefetcher struct {
 	scoreEWMA   int // EWMA of phase best scores, fixed point x16
 	dynBadScore int
 
+	buf [2]mem.LineAddr // OnAccess scratch, avoids a per-access slice
+
 	stats Stats
 }
 
@@ -148,7 +150,7 @@ func (p *Prefetcher) OnAccess(a prefetch.AccessInfo) []mem.LineAddr {
 	if !p.on {
 		return nil
 	}
-	var targets []mem.LineAddr
+	targets := p.buf[:0]
 	offsets := [2]int{p.d, 0}
 	n := 1
 	if p.params.Degree == 2 && p.d2 != 0 && p.d2 != p.d {

@@ -32,17 +32,23 @@ func DefaultConfig() Config {
 	return Config{DispatchWidth: 4, RetireWidth: 4, ROBSize: 256, ALULatency: 1}
 }
 
-// robEntry is one in-flight instruction.
+// robEntry is one in-flight instruction. Entries live in a fixed ring
+// buffer, so "pointers" between them are (slot, seq) pairs: seq is a
+// per-entry generation tag bumped at dispatch, and a reference whose seq no
+// longer matches the slot's current entry points at an instruction that has
+// retired — which, for the load dependences tracked here, means it is done.
 type robEntry struct {
 	isMem   bool
 	isLoad  bool
+	issued  bool
+	isWrite bool
 	pc      uint64
 	va      mem.Addr
-	doneAt  uint64       // ALU/store completion
-	fut     *dram.Future // load completion (nil until issued)
-	issued  bool
-	dep     *robEntry // load this entry's address depends on (nil if none)
-	isWrite bool
+	seq     uint64
+	doneAt  uint64       // completion cycle when fut is nil (ALU, stores, cache-hit loads)
+	fut     *dram.Future // in-flight load completion (nil once known)
+	depSlot int32        // ring slot of the load this entry's address depends on (-1: none)
+	depSeq  uint64
 }
 
 // Core is one simulated core executing a trace.Generator.
@@ -52,12 +58,18 @@ type Core struct {
 	hier *uncore.Hierarchy
 	gen  trace.Generator
 
-	rob     []*robEntry
-	waiting []*robEntry // dispatched loads not yet issued (dep or MSHR full)
-	paused  bool        // dispatch frozen (warmup-barrier drain)
+	rob     []robEntry // ring buffer of cfg.ROBSize entries
+	robHead int
+	robLen  int
+	seq     uint64  // next generation tag
+	waiting []int32 // slots of dispatched loads not yet issued (dep or MSHR full)
+	paused  bool    // dispatch frozen (warmup-barrier drain)
 
-	lastLoad *robEntry // most recent load, for DepPrevLoad chaining
-	pending  *trace.Inst
+	lastLoadSlot int32 // most recent load, for DepPrevLoad chaining (-1: none)
+	lastLoadSeq  uint64
+
+	pending    trace.Inst // fetched instruction that could not dispatch (MSHRs full)
+	hasPending bool
 
 	// Retired counts retired instructions; Cycles is advanced by the
 	// simulation driver via Cycle calls.
@@ -69,7 +81,11 @@ type Core struct {
 
 // New builds a core bound to a hierarchy and an instruction stream.
 func New(id int, cfg Config, hier *uncore.Hierarchy, gen trace.Generator) *Core {
-	return &Core{ID: id, cfg: cfg, hier: hier, gen: gen}
+	return &Core{
+		ID: id, cfg: cfg, hier: hier, gen: gen,
+		rob:          make([]robEntry, cfg.ROBSize),
+		lastLoadSlot: -1,
+	}
 }
 
 // Cycle advances the core by one clock: retire, issue waiting loads, then
@@ -82,21 +98,62 @@ func (c *Core) Cycle(now uint64) {
 
 func (e *robEntry) done(now uint64) bool {
 	if e.isLoad {
-		return e.issued && e.fut.DoneBy(now)
+		if !e.issued {
+			return false
+		}
+		if e.fut != nil {
+			return e.fut.DoneBy(now)
+		}
 	}
 	return e.doneAt <= now
 }
 
+// readyTime returns the cycle the entry completes, when that is already
+// known. It is unknown for loads not yet issued and loads whose future has
+// not resolved; those complete via a hierarchy or DRAM event.
+func (e *robEntry) readyTime() (uint64, bool) {
+	if e.isLoad {
+		if !e.issued {
+			return 0, false
+		}
+		if e.fut != nil {
+			if !e.fut.Resolved() {
+				return 0, false
+			}
+			return e.fut.Cycle(), true
+		}
+	}
+	return e.doneAt, true
+}
+
+// depEntry returns the entry e's address depends on, or nil when the
+// dependence is absent or already retired (a retired load is done).
+func (c *Core) depEntry(e *robEntry) *robEntry {
+	if e.depSlot < 0 {
+		return nil
+	}
+	d := &c.rob[e.depSlot]
+	if d.seq != e.depSeq {
+		return nil // slot recycled: the dep retired long ago
+	}
+	return d
+}
+
 func (c *Core) retire(now uint64) {
-	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
-		head := c.rob[0]
+	for n := 0; n < c.cfg.RetireWidth && c.robLen > 0; n++ {
+		head := &c.rob[c.robHead]
 		if !head.done(now) {
 			return
 		}
 		if head.isMem {
 			c.hier.RetireMemOp(c.ID, head.pc, head.va)
 		}
-		c.rob = c.rob[1:]
+		head.fut = nil // release the future; the seq tag stays for dep checks
+		c.robHead++
+		if c.robHead == c.cfg.ROBSize {
+			c.robHead = 0
+		}
+		c.robLen--
 		c.Retired++
 	}
 }
@@ -108,20 +165,47 @@ func (c *Core) issueWaiting(now uint64) {
 		return
 	}
 	kept := c.waiting[:0]
-	for _, e := range c.waiting {
-		if e.dep != nil && !e.dep.done(now) {
-			kept = append(kept, e)
+	for _, slot := range c.waiting {
+		e := &c.rob[slot]
+		if d := c.depEntry(e); d != nil && !d.done(now) {
+			kept = append(kept, slot)
 			continue
 		}
-		fut := c.hier.Access(c.ID, e.pc, e.va, e.isWrite, now)
-		if fut == nil {
-			kept = append(kept, e) // MSHRs full; retry next cycle
+		done, fut, ok := c.hier.Demand(c.ID, e.pc, e.va, e.isWrite, now)
+		if !ok {
+			kept = append(kept, slot) // MSHRs full; retry next cycle
 			continue
 		}
-		e.fut = fut
+		e.doneAt, e.fut = done, fut
 		e.issued = true
 	}
 	c.waiting = kept
+}
+
+// push appends a new entry at the ring tail and returns its slot.
+func (c *Core) push(e robEntry) int32 {
+	slot := c.robHead + c.robLen
+	if slot >= c.cfg.ROBSize {
+		slot -= c.cfg.ROBSize
+	}
+	c.seq++
+	e.seq = c.seq
+	c.rob[slot] = e
+	c.robLen++
+	return int32(slot)
+}
+
+// lastLoad returns the most recent load's entry while it is still in
+// flight, or nil when there is none or it has retired.
+func (c *Core) lastLoad() *robEntry {
+	if c.lastLoadSlot < 0 {
+		return nil
+	}
+	d := &c.rob[c.lastLoadSlot]
+	if d.seq != c.lastLoadSeq {
+		return nil
+	}
+	return d
 }
 
 func (c *Core) dispatch(now uint64) {
@@ -129,55 +213,91 @@ func (c *Core) dispatch(now uint64) {
 		return
 	}
 	for n := 0; n < c.cfg.DispatchWidth; n++ {
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.robLen >= c.cfg.ROBSize {
 			return
 		}
 		var inst trace.Inst
-		if c.pending != nil {
-			inst = *c.pending
-			c.pending = nil
+		if c.hasPending {
+			inst = c.pending
+			c.hasPending = false
 		} else {
 			inst = c.gen.Next()
 		}
 		switch inst.Op {
 		case trace.OpALU:
-			c.rob = append(c.rob, &robEntry{doneAt: now + c.cfg.ALULatency, pc: inst.PC})
+			c.push(robEntry{doneAt: now + c.cfg.ALULatency, pc: inst.PC})
 		case trace.OpLoad:
-			e := &robEntry{isMem: true, isLoad: true, pc: inst.PC, va: inst.VA}
-			if inst.DepPrevLoad && c.lastLoad != nil && !c.lastLoad.done(now) {
-				e.dep = c.lastLoad
-				c.waiting = append(c.waiting, e)
+			e := robEntry{isMem: true, isLoad: true, pc: inst.PC, va: inst.VA, depSlot: -1}
+			if d := c.lastLoad(); inst.DepPrevLoad && d != nil && !d.done(now) {
+				e.depSlot, e.depSeq = c.lastLoadSlot, c.lastLoadSeq
+				slot := c.push(e)
+				c.waiting = append(c.waiting, slot)
+				c.lastLoadSlot, c.lastLoadSeq = slot, c.rob[slot].seq
 			} else {
-				fut := c.hier.Access(c.ID, inst.PC, inst.VA, false, now)
-				if fut == nil {
+				done, fut, ok := c.hier.Demand(c.ID, inst.PC, inst.VA, false, now)
+				if !ok {
 					c.DispatchStallMSHR++
-					c.pending = &inst
+					c.pending = inst
+					c.hasPending = true
 					return
 				}
-				e.fut = fut
+				e.doneAt, e.fut = done, fut
 				e.issued = true
+				slot := c.push(e)
+				c.lastLoadSlot, c.lastLoadSeq = slot, c.rob[slot].seq
 			}
-			c.rob = append(c.rob, e)
-			c.lastLoad = e
 		case trace.OpStore:
 			// Stores retire through the store buffer without waiting for
 			// the fill, but still generate the write-allocate traffic.
-			fut := c.hier.Access(c.ID, inst.PC, inst.VA, true, now)
-			if fut == nil {
+			_, _, ok := c.hier.Demand(c.ID, inst.PC, inst.VA, true, now)
+			if !ok {
 				c.DispatchStallMSHR++
-				c.pending = &inst
+				c.pending = inst
+				c.hasPending = true
 				return
 			}
-			c.rob = append(c.rob, &robEntry{
-				isMem: true, pc: inst.PC, va: inst.VA,
+			c.push(robEntry{
+				isMem: true, pc: inst.PC, va: inst.VA, depSlot: -1,
 				doneAt: now + c.cfg.ALULatency, isWrite: true,
 			})
 		}
 	}
 }
 
+// NextEvent returns the earliest cycle at or after now at which the core
+// can make progress, or ^uint64(0) when no event is scheduled (progress, if
+// any, will come from a hierarchy or DRAM completion). It returns now
+// whenever the core would do real work this cycle — dispatching, attempting
+// an issue, or retiring — because those paths have side effects (generator
+// consumption, cache/TLB/prefetcher state updates) on every cycle they run.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if !c.paused && c.robLen < c.cfg.ROBSize {
+		return now // dispatch will run this cycle
+	}
+	next := ^uint64(0)
+	if c.robLen > 0 {
+		if t, known := c.rob[c.robHead].readyTime(); known {
+			if t <= now {
+				return now // head retires this cycle
+			}
+			next = t
+		}
+	}
+	for _, slot := range c.waiting {
+		e := &c.rob[slot]
+		d := c.depEntry(e)
+		if d == nil || d.done(now) {
+			return now // will attempt issue (side-effectful) this cycle
+		}
+		if t, known := d.readyTime(); known && t < next {
+			next = t
+		}
+	}
+	return next
+}
+
 // ROBOccupancy returns the current reorder-buffer fill, for tests.
-func (c *Core) ROBOccupancy() int { return len(c.rob) }
+func (c *Core) ROBOccupancy() int { return c.robLen }
 
 // SetPaused freezes (true) or resumes (false) instruction dispatch. A
 // paused core still retires and issues already-dispatched work, so running
@@ -190,13 +310,13 @@ func (c *Core) SetPaused(p bool) { c.paused = p }
 // and the issue-waiting list are empty. A fetched-but-undispatched
 // instruction (Pending in the state below) does not count — it is pure
 // cursor state.
-func (c *Core) Quiesced() bool { return len(c.rob) == 0 && len(c.waiting) == 0 }
+func (c *Core) Quiesced() bool { return c.robLen == 0 && len(c.waiting) == 0 }
 
 // ClearDepChain drops the pointer-chase dependence anchor. The barrier
 // calls it after the drain: every in-flight load has retired, so the anchor
 // can only be a completed load — behaviourally identical to nil — and
 // clearing it makes the drained state literally equal to a restored one.
-func (c *Core) ClearDepChain() { c.lastLoad = nil }
+func (c *Core) ClearDepChain() { c.lastLoadSlot = -1 }
 
 // State is the serialized state of a quiesced core: its counters, the
 // fetched-but-undispatched instruction (if any) and the generator cursor.
@@ -219,8 +339,8 @@ func (c *Core) SaveState() (State, error) {
 		return State{}, fmt.Errorf("cpu: core %d generator %s does not support checkpointing", c.ID, c.gen.Name())
 	}
 	st := State{Retired: c.Retired, DispatchStallMSHR: c.DispatchStallMSHR, Gen: sg.SaveGenState()}
-	if c.pending != nil {
-		p := *c.pending
+	if c.hasPending {
+		p := c.pending
 		st.Pending = &p
 	}
 	return st, nil
@@ -241,11 +361,11 @@ func (c *Core) RestoreState(st State) error {
 	}
 	c.Retired = st.Retired
 	c.DispatchStallMSHR = st.DispatchStallMSHR
-	c.pending = nil
+	c.hasPending = false
 	if st.Pending != nil {
-		p := *st.Pending
-		c.pending = &p
+		c.pending = *st.Pending
+		c.hasPending = true
 	}
-	c.lastLoad = nil
+	c.lastLoadSlot = -1
 	return nil
 }

@@ -56,6 +56,23 @@ type controller struct {
 	pendingReads  int
 	pendingWrites int
 	stats         Stats
+	// freeReqs is a free list of request objects; a request returns to it
+	// when it is issued, so steady-state traffic allocates none.
+	freeReqs []*request
+}
+
+func (c *controller) newRequest() *request {
+	if n := len(c.freeReqs); n > 0 {
+		r := c.freeReqs[n-1]
+		c.freeReqs = c.freeReqs[:n-1]
+		return r
+	}
+	return &request{}
+}
+
+func (c *controller) release(r *request) {
+	*r = request{}
+	c.freeReqs = append(c.freeReqs, r)
 }
 
 func newController(p Params) *controller {
@@ -91,9 +108,9 @@ func (c *controller) enqueueRead(line mem.LineAddr, core int, fut *Future) *Futu
 		return nil
 	}
 	c.seq++
-	c.readQ[core] = append(c.readQ[core], &request{
-		line: line, core: core, loc: MapAddress(line), seq: c.seq, future: fut,
-	})
+	r := c.newRequest()
+	r.line, r.core, r.loc, r.seq, r.future = line, core, MapAddress(line), c.seq, fut
+	c.readQ[core] = append(c.readQ[core], r)
 	c.pendingReads++
 	return fut
 }
@@ -104,9 +121,9 @@ func (c *controller) enqueueWrite(line mem.LineAddr, core int) bool {
 		return false
 	}
 	c.seq++
-	c.writeQ[core] = append(c.writeQ[core], &request{
-		line: line, core: core, loc: MapAddress(line), seq: c.seq, write: true,
-	})
+	r := c.newRequest()
+	r.line, r.core, r.loc, r.seq, r.write = line, core, MapAddress(line), c.seq, true
+	c.writeQ[core] = append(c.writeQ[core], r)
 	c.pendingWrites++
 	return true
 }
@@ -256,6 +273,7 @@ func (c *controller) issueReadIdx(core, i int, now uint64) {
 	c.stats.PerCoreReads[core]++
 	done := c.access(r, now)
 	r.future.Resolve(done + c.p.ExtraLatency)
+	c.release(r)
 }
 
 func (c *controller) issueWrite(now uint64) {
@@ -273,6 +291,7 @@ func (c *controller) issueWrite(now uint64) {
 	}
 	c.stats.WriteBursts++
 	c.access(r, now)
+	c.release(r)
 }
 
 // access performs the bank/bus timing for request r starting no earlier

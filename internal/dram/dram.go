@@ -45,6 +45,22 @@ func (m *Memory) Tick(now uint64) {
 	}
 }
 
+// NextEvent returns the earliest cycle at or after now at which the memory
+// system can do work: the next bus-cycle boundary while any request is
+// queued, or ^uint64(0) when every controller is idle. Issued requests need
+// no events — their completion cycles were computed at issue time and live
+// in resolved futures; only queued requests await scheduling decisions.
+func (m *Memory) NextEvent(now uint64) uint64 {
+	if m.Idle() {
+		return ^uint64(0)
+	}
+	br := uint64(m.p.BusRatio)
+	if rem := now % br; rem != 0 {
+		return now + (br - rem)
+	}
+	return now
+}
+
 // Idle reports whether no requests are pending anywhere.
 func (m *Memory) Idle() bool {
 	for _, c := range m.channels {

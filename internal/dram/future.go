@@ -36,3 +36,25 @@ func (f *Future) Cycle() uint64 { return f.cycle }
 
 // DoneBy reports whether the request has completed at or before now.
 func (f *Future) DoneBy(now uint64) bool { return f.resolved && f.cycle <= now }
+
+// arenaSlab is the number of futures carved per heap allocation.
+const arenaSlab = 4096
+
+// Arena hands out Futures carved from slab allocations, so the steady-state
+// miss path costs one heap allocation per slab instead of one per request.
+// Individual futures are never recycled — MSHR merges and read-queue merges
+// alias them freely, so no single release point exists — but a slab is
+// collected as a unit once every future carved from it has been dropped.
+type Arena struct {
+	slab []Future
+}
+
+// Pending returns an unresolved future carved from the arena.
+func (a *Arena) Pending() *Future {
+	if len(a.slab) == 0 {
+		a.slab = make([]Future, arenaSlab)
+	}
+	f := &a.slab[0]
+	a.slab = a.slab[1:]
+	return f
+}

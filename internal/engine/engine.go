@@ -245,6 +245,12 @@ type Simulation struct {
 	// drained and no measured cycle has executed yet. Checkpoint is only
 	// valid then.
 	atBarrier bool
+	// noSkip disables event-driven skip-ahead (SetSkipAhead), forcing the
+	// engine to tick every cycle. Results are byte-identical either way —
+	// the equivalence suite asserts it — so this is a verification and
+	// debugging switch, deliberately not an Options field: it must not
+	// change cache keys, warmup signatures or result hashes.
+	noSkip bool
 }
 
 // New validates the options and assembles the machine. The returned
@@ -376,18 +382,85 @@ func (s *Simulation) Cycles() uint64 { return s.now }
 // Retired returns the instructions retired on core 0 so far.
 func (s *Simulation) Retired() uint64 { return s.cores[0].Retired }
 
-// Step advances the simulation by up to n cycles, stopping early when the
-// run completes or the warmup barrier is reached (so callers can intervene
-// there — see Checkpoint). It returns whether the run is done. A wedged
-// simulation (MaxCycles exceeded without completing) returns an error, and
-// the error is sticky: every later Step and Run reports it again.
+// SetSkipAhead enables (true, the default) or disables event-driven
+// skip-ahead stepping. The simulated machine's behaviour is identical
+// either way — skipped cycles are provably no-ops (see DESIGN.md's timing
+// model section) and the per-cycle sampled statistics are accounted for
+// skipped spans — so disabling it only costs wall-clock time. The switch
+// exists for the equivalence test suite and for debugging.
+func (s *Simulation) SetSkipAhead(enabled bool) { s.noSkip = !enabled }
+
+// nextEventCycle returns the earliest cycle >= now at which any component
+// can make progress (^uint64(0) when none has an event scheduled).
+func (s *Simulation) nextEventCycle() uint64 {
+	next := ^uint64(0)
+	for _, c := range s.cores {
+		if t := c.NextEvent(s.now); t < next {
+			next = t
+			if next <= s.now {
+				return s.now
+			}
+		}
+	}
+	if t := s.hier.NextEvent(s.now); t < next {
+		next = t
+	}
+	if next < s.now {
+		return s.now
+	}
+	return next
+}
+
+// Step advances the simulation by a budget of n cycles, stopping early when
+// the run completes or the warmup barrier is reached (so callers can
+// intervene there — see Checkpoint). It returns whether the run is done. A
+// wedged simulation (MaxCycles exceeded without completing) returns an
+// error, and the error is sticky: every later Step and Run reports it
+// again.
+//
+// Stepping is event-driven: when no core, uncore queue or DRAM channel can
+// do work this cycle, the clock jumps straight to the earliest upcoming
+// event, charging the skipped span to the per-cycle sampled statistics
+// (uncore.Hierarchy.AccountIdle). The skipped cycles would have been no-ops
+// under per-cycle ticking, so results are byte-identical (SetSkipAhead and
+// the skip equivalence suite pin this down); a skip consumes its span from
+// the n-cycle budget just as ticked cycles do.
 func (s *Simulation) Step(n uint64) (done bool, err error) {
 	if s.err != nil {
 		return false, s.err
 	}
-	for i := uint64(0); i < n; i++ {
+	target := s.now + n
+	if target < s.now { // overflow: run to the wedge guard
+		target = ^uint64(0)
+	}
+	for s.now < target {
 		if s.Done() {
 			return true, nil
+		}
+		if !s.noSkip {
+			if ne := s.nextEventCycle(); ne > s.now && ne != ^uint64(0) {
+				// No component can do work before cycle ne: jump there.
+				// Cycles in [now, ne) are no-ops except for sampled stats.
+				// The jump is clamped to the budget and to MaxCycles so the
+				// wedge check fires at exactly the cycle the per-cycle
+				// engine would report.
+				jump := ne
+				if target < jump {
+					jump = target
+				}
+				if s.opts.MaxCycles < jump {
+					jump = s.opts.MaxCycles
+				}
+				s.hier.AccountIdle(jump - s.now)
+				s.now = jump
+				s.atBarrier = false
+				if s.now >= s.opts.MaxCycles && !s.Done() {
+					s.err = fmt.Errorf("engine: %s wedged after %d cycles (%d/%d instructions)",
+						s.wsLabel, s.now, s.cores[0].Retired, s.startRetired+s.opts.Instructions)
+					return false, s.err
+				}
+				continue
+			}
 		}
 		for _, c := range s.cores {
 			c.Cycle(s.now)

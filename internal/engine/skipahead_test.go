@@ -1,0 +1,60 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"bopsim/internal/engine"
+	"bopsim/internal/prefetch"
+	"bopsim/internal/trace"
+)
+
+// TestSkipAheadEquivalence is the event-driven engine's correctness
+// harness: for every registered L2 prefetcher, a 2-core heterogeneous run
+// must produce byte-identical results whether the engine skips over
+// no-event spans (the default) or ticks every cycle (SetSkipAhead(false)).
+// Skip-ahead is a pure scheduling optimization — any divergence here means
+// a component's NextEvent underreports a cycle with side effects.
+func TestSkipAheadEquivalence(t *testing.T) {
+	names := prefetch.L2Names()
+	if len(names) == 0 {
+		t.Fatal("no registered L2 prefetchers")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			o := engine.DefaultOptions("")
+			o.Workloads = []trace.Spec{
+				trace.MustSpec("gups:footprint=8mb"),
+				trace.MustSpec("stream:stride=128"),
+			}
+			o.Cores = 2
+			o.Instructions = 40_000
+			o.L2PF = prefetch.MustSpec(name)
+
+			run := func(skip bool) []byte {
+				s, err := engine.New(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.SetSkipAhead(skip)
+				r, err := s.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+
+			skipOn := run(true)
+			skipOff := run(false)
+			if !bytes.Equal(skipOn, skipOff) {
+				t.Errorf("skip-ahead changed the result\nwith skip:    %s\nwithout skip: %s", skipOn, skipOff)
+			}
+		})
+	}
+}

@@ -58,6 +58,8 @@ type Prefetcher struct {
 	enabled []bool
 	count   int // eligible accesses in the current window
 
+	buf []mem.LineAddr // OnAccess scratch, reused across calls
+
 	stats Stats
 }
 
@@ -134,7 +136,7 @@ func (p *Prefetcher) OnAccess(a prefetch.AccessInfo) []mem.LineAddr {
 		p.endWindow()
 	}
 
-	var out []mem.LineAddr
+	out := p.buf[:0]
 	for i, d := range p.params.Offsets {
 		if !p.enabled[i] {
 			continue
@@ -153,6 +155,7 @@ func (p *Prefetcher) OnAccess(a prefetch.AccessInfo) []mem.LineAddr {
 		}
 	}
 	p.stats.Issued += uint64(len(out))
+	p.buf = out
 	return out
 }
 

@@ -28,7 +28,9 @@ type L2Prefetcher interface {
 	Name() string
 	// OnAccess observes one L2 read access and returns the physical lines
 	// to prefetch (possibly none). Implementations must respect page
-	// boundaries themselves.
+	// boundaries themselves. The returned slice may be scratch owned by the
+	// prefetcher, valid only until the next OnAccess call — callers consume
+	// it immediately and must not retain it.
 	OnAccess(a AccessInfo) []mem.LineAddr
 	// OnFill observes a line being inserted into the L2 cache, with
 	// wasPrefetch true when the fill was caused by this prefetcher (and not
@@ -82,6 +84,7 @@ type FixedOffset struct {
 	page   mem.PageSize
 	offset uint64
 	name   string
+	buf    [1]mem.LineAddr // OnAccess scratch, avoids a per-access slice
 }
 
 // NewFixedOffset returns a fixed-offset prefetcher with offset d >= 1.
@@ -114,7 +117,8 @@ func (p *FixedOffset) OnAccess(a AccessInfo) []mem.LineAddr {
 	if !p.page.SamePage(a.Line, target) {
 		return nil
 	}
-	return []mem.LineAddr{target}
+	p.buf[0] = target
+	return p.buf[:1]
 }
 
 // OnFill implements L2Prefetcher.

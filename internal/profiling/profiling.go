@@ -1,0 +1,54 @@
+// Package profiling wires the standard runtime/pprof CPU and heap profiles
+// into command-line tools. Commands register -cpuprofile/-memprofile flags,
+// call Start after flag parsing, and defer the returned stop function;
+// profiles are written when the run completes normally (error exits skip
+// them — a failed run's profile is rarely the one you want).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges a heap profile to be
+// written to memPath when the returned stop function runs. Either path may
+// be empty to disable that profile. The stop function is safe to call more
+// than once.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -79,6 +79,8 @@ type Prefetcher struct {
 
 	active []activeOffset
 
+	buf []mem.LineAddr // issue scratch, reused across OnAccess calls
+
 	stats Stats
 }
 
@@ -185,7 +187,7 @@ func (p *Prefetcher) issue(x mem.LineAddr) []mem.LineAddr {
 	if len(p.active) == 0 {
 		return nil
 	}
-	var out []mem.LineAddr
+	out := p.buf[:0]
 	for _, a := range p.active {
 		for k := 1; k <= a.degree; k++ {
 			t := x + mem.LineAddr(a.offset*k)
@@ -195,11 +197,13 @@ func (p *Prefetcher) issue(x mem.LineAddr) []mem.LineAddr {
 			out = append(out, t)
 			if len(out) >= p.params.MaxIssue {
 				p.stats.Issued += uint64(len(out))
+				p.buf = out
 				return out
 			}
 		}
 	}
 	p.stats.Issued += uint64(len(out))
+	p.buf = out
 	return out
 }
 

@@ -24,24 +24,36 @@ const (
 	PageWalkPenalty = 50
 )
 
-// tlbLevel is one fully-associative translation buffer with true LRU.
+// tlbLevel is one fully-associative translation buffer with true LRU. The
+// resident set lives in dense vpn/stamp arrays with a map from VPN to slot:
+// hits touch only the stamp array, and eviction is a linear scan over a
+// contiguous stamp slice instead of a map iteration. Stamps are strictly
+// increasing (every write is preceded by a clock increment), so the LRU
+// minimum is unique and victim selection never depends on scan order.
 type tlbLevel struct {
 	entries int
-	stamps  map[uint64]uint64
+	slot    map[uint64]int // VPN -> index into vpns/stamps
+	vpns    []uint64
+	stamps  []uint64
 	clock   uint64
 	hits    uint64
 	misses  uint64
 }
 
 func newTLBLevel(entries int) *tlbLevel {
-	return &tlbLevel{entries: entries, stamps: make(map[uint64]uint64, entries)}
+	return &tlbLevel{
+		entries: entries,
+		slot:    make(map[uint64]int, entries),
+		vpns:    make([]uint64, 0, entries),
+		stamps:  make([]uint64, 0, entries),
+	}
 }
 
 // access looks up vpn, refreshing LRU state; insert on miss.
 func (t *tlbLevel) access(vpn uint64) (hit bool) {
 	t.clock++
-	if _, ok := t.stamps[vpn]; ok {
-		t.stamps[vpn] = t.clock
+	if i, ok := t.slot[vpn]; ok {
+		t.stamps[i] = t.clock
 		t.hits++
 		return true
 	}
@@ -54,25 +66,31 @@ func (t *tlbLevel) access(vpn uint64) (hit bool) {
 // prefetcher's TLB2 check, which drops the prefetch on a miss rather than
 // walking the page table).
 func (t *tlbLevel) probe(vpn uint64) bool {
-	if _, ok := t.stamps[vpn]; ok {
+	if i, ok := t.slot[vpn]; ok {
 		t.clock++
-		t.stamps[vpn] = t.clock
+		t.stamps[i] = t.clock
 		return true
 	}
 	return false
 }
 
 func (t *tlbLevel) insert(vpn uint64) {
-	if len(t.stamps) >= t.entries {
-		victim, best := uint64(0), ^uint64(0)
-		for v, s := range t.stamps {
+	if len(t.vpns) >= t.entries {
+		victim, best := 0, ^uint64(0)
+		for i, s := range t.stamps {
 			if s < best {
-				victim, best = v, s
+				victim, best = i, s
 			}
 		}
-		delete(t.stamps, victim)
+		delete(t.slot, t.vpns[victim])
+		t.vpns[victim] = vpn
+		t.stamps[victim] = t.clock
+		t.slot[vpn] = victim
+		return
 	}
-	t.stamps[vpn] = t.clock
+	t.vpns = append(t.vpns, vpn)
+	t.stamps = append(t.stamps, t.clock)
+	t.slot[vpn] = len(t.vpns) - 1
 }
 
 // Hierarchy is a per-core DTLB1 backed by a TLB2.
@@ -142,15 +160,12 @@ type State struct {
 }
 
 func (t *tlbLevel) saveState() LevelState {
-	vpns := make([]uint64, 0, len(t.stamps))
-	for v := range t.stamps {
-		vpns = append(vpns, v)
-	}
+	vpns := append([]uint64(nil), t.vpns...)
 	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
 	st := LevelState{VPNs: vpns, Stamps: make([]uint64, len(vpns)),
 		Clock: t.clock, Hits: t.hits, Misses: t.misses}
 	for i, v := range vpns {
-		st.Stamps[i] = t.stamps[v]
+		st.Stamps[i] = t.stamps[t.slot[v]]
 	}
 	return st
 }
@@ -162,14 +177,16 @@ func (t *tlbLevel) restoreState(st LevelState) error {
 	if len(st.VPNs) > t.entries {
 		return fmt.Errorf("tlb: state has %d entries, level holds %d", len(st.VPNs), t.entries)
 	}
-	stamps := make(map[uint64]uint64, t.entries)
+	slot := make(map[uint64]int, t.entries)
 	for i, v := range st.VPNs {
-		if _, dup := stamps[v]; dup {
+		if _, dup := slot[v]; dup {
 			return fmt.Errorf("tlb: duplicate VPN %#x in state", v)
 		}
-		stamps[v] = st.Stamps[i]
+		slot[v] = i
 	}
-	t.stamps = stamps
+	t.slot = slot
+	t.vpns = append(t.vpns[:0], st.VPNs...)
+	t.stamps = append(t.stamps[:0], st.Stamps...)
 	t.clock, t.hits, t.misses = st.Clock, st.Hits, st.Misses
 	return nil
 }

@@ -1,0 +1,20 @@
+package trace
+
+import "testing"
+
+// TestGeneratorNextZeroAlloc pins the per-instruction cost of the synthetic
+// workload generators the engine polls every dispatch slot: Next must not
+// allocate in steady state.
+func TestGeneratorNextZeroAlloc(t *testing.T) {
+	for _, name := range []string{"microthrash", "stream", "gups", "pchase"} {
+		t.Run(name, func(t *testing.T) {
+			g := MustWorkload(name, 1)
+			for i := 0; i < 10_000; i++ {
+				g.Next()
+			}
+			if avg := testing.AllocsPerRun(5000, func() { g.Next() }); avg != 0 {
+				t.Errorf("%s: Next allocates %.3f objects/instruction, want 0", name, avg)
+			}
+		})
+	}
+}

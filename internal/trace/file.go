@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"bopsim/internal/mem"
 )
@@ -25,6 +26,12 @@ import (
 const traceMagic = "BOTRACE1"
 
 const flagDepPrevLoad = 1 << 0
+
+// recordSize is the on-disk size of one instruction record.
+const recordSize = 18
+
+// traceHeaderSize is the magic plus the record count.
+const traceHeaderSize = len(traceMagic) + 8
 
 // WriteTrace records n instructions from gen to w.
 func WriteTrace(w io.Writer, gen Generator, n uint64) error {
@@ -66,78 +73,145 @@ func WriteTraceFile(path string, gen Generator, n uint64) error {
 }
 
 // FileTrace replays a recorded trace, wrapping at the end. It implements
-// Generator. The whole trace is held in memory (18 bytes per instruction),
-// which keeps replay allocation-free and deterministic.
+// Generator. The trace is kept as raw 18-byte records — memory-mapped when
+// the file came from OpenTraceFile on a platform with mmap support, a plain
+// heap buffer otherwise — and records are decoded on Next. Replay therefore
+// costs no per-instruction allocation and no up-front decode pass, and
+// every simulation replaying the same file in this process shares a single
+// read-only copy of its bytes.
 type FileTrace struct {
 	name  string
-	insts []Inst
+	recs  []byte // count x recordSize raw records
+	count int
 	idx   int
 	// Wraps counts how many times the trace restarted from the beginning.
 	Wraps uint64
 }
 
-// ReadTrace parses a recorded trace from r.
-func ReadTrace(name string, r io.Reader) (*FileTrace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(traceMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+// validateRecords checks the header bytes in hdr and the op byte of every
+// record in recs, returning the record count.
+func validateRecords(hdr, recs []byte) (int, error) {
+	if string(hdr[:len(traceMagic)]) != traceMagic {
+		return 0, fmt.Errorf("trace: bad magic %q", hdr[:len(traceMagic)])
 	}
-	if string(magic) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	var count uint64
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
-	}
+	count := binary.LittleEndian.Uint64(hdr[len(traceMagic):])
 	if count == 0 {
-		return nil, fmt.Errorf("trace: empty trace")
+		return 0, fmt.Errorf("trace: empty trace")
 	}
 	const maxCount = 1 << 30 // 18 GiB of records; refuse anything sillier
 	if count > maxCount {
-		return nil, fmt.Errorf("trace: implausible record count %d", count)
+		return 0, fmt.Errorf("trace: implausible record count %d", count)
 	}
-	ft := &FileTrace{name: name, insts: make([]Inst, count)}
-	var rec [18]byte
+	if uint64(len(recs)) < count*recordSize {
+		return 0, fmt.Errorf("trace: truncated at record %d", len(recs)/recordSize)
+	}
 	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
-		}
-		op := Op(rec[0])
-		if op > OpStore {
-			return nil, fmt.Errorf("trace: record %d has invalid op %d", i, op)
-		}
-		ft.insts[i] = Inst{
-			Op:          op,
-			DepPrevLoad: rec[1]&flagDepPrevLoad != 0,
-			PC:          binary.LittleEndian.Uint64(rec[2:]),
-			VA:          mem.Addr(binary.LittleEndian.Uint64(rec[10:])),
+		if op := Op(recs[i*recordSize]); op > OpStore {
+			return 0, fmt.Errorf("trace: record %d has invalid op %d", i, op)
 		}
 	}
-	return ft, nil
+	return int(count), nil
 }
 
-// OpenTraceFile loads a recorded trace from the named file.
+// ReadTrace parses a recorded trace from r into a heap buffer.
+func ReadTrace(name string, r io.Reader) (*FileTrace, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, traceHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	recs, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading records: %w", err)
+	}
+	count, err := validateRecords(hdr, recs)
+	if err != nil {
+		return nil, err
+	}
+	return &FileTrace{name: name, recs: recs, count: count}, nil
+}
+
+// cachedTrace is one shared, immutable trace body.
+type cachedTrace struct {
+	recs  []byte
+	count int
+}
+
+// traceKey identifies a trace file's content for the process-wide cache: a
+// re-recorded file (new size or mtime) gets a fresh entry.
+type traceKey struct {
+	path  string
+	size  int64
+	mtime int64
+}
+
+var (
+	traceCacheMu sync.Mutex
+	traceCache   = map[traceKey]*cachedTrace{}
+)
+
+// OpenTraceFile loads a recorded trace from the named file. The raw bytes
+// are memory-mapped where the platform supports it (falling back to a heap
+// read), and cached process-wide by path, size and mtime, so concurrent
+// workers replaying the same recording share one read-only copy. Mappings
+// live for the life of the process.
 func OpenTraceFile(path string) (*FileTrace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	defer f.Close()
-	return ReadTrace(path, f)
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	key := traceKey{path: path, size: st.Size(), mtime: st.ModTime().UnixNano()}
+	traceCacheMu.Lock()
+	defer traceCacheMu.Unlock()
+	if ct, ok := traceCache[key]; ok {
+		return &FileTrace{name: path, recs: ct.recs, count: ct.count}, nil
+	}
+	if st.Size() < int64(traceHeaderSize) {
+		return nil, fmt.Errorf("trace: %s: file too short for header", path)
+	}
+	data, err := mmapFile(f, st.Size())
+	if err != nil {
+		// No mmap on this platform (or it failed): fall back to a heap read.
+		ft, err := ReadTrace(path, f)
+		if err != nil {
+			return nil, err
+		}
+		traceCache[key] = &cachedTrace{recs: ft.recs, count: ft.count}
+		return ft, nil
+	}
+	recs := data[traceHeaderSize:]
+	count, err := validateRecords(data[:traceHeaderSize], recs)
+	if err != nil {
+		munmapFile(data)
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	traceCache[key] = &cachedTrace{recs: recs, count: count}
+	return &FileTrace{name: path, recs: recs, count: count}, nil
 }
 
 // Name implements Generator.
 func (t *FileTrace) Name() string { return t.name }
 
 // Len returns the number of recorded instructions.
-func (t *FileTrace) Len() int { return len(t.insts) }
+func (t *FileTrace) Len() int { return t.count }
 
-// Next implements Generator, wrapping at the end of the recording.
+// Next implements Generator, decoding the record at the cursor and wrapping
+// at the end of the recording.
 func (t *FileTrace) Next() Inst {
-	inst := t.insts[t.idx]
+	rec := t.recs[t.idx*recordSize : t.idx*recordSize+recordSize]
+	inst := Inst{
+		Op:          Op(rec[0]),
+		DepPrevLoad: rec[1]&flagDepPrevLoad != 0,
+		PC:          binary.LittleEndian.Uint64(rec[2:]),
+		VA:          mem.Addr(binary.LittleEndian.Uint64(rec[10:])),
+	}
 	t.idx++
-	if t.idx == len(t.insts) {
+	if t.idx == t.count {
 		t.idx = 0
 		t.Wraps++
 	}

@@ -1,0 +1,15 @@
+//go:build !linux && !darwin
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("trace: mmap not supported on this platform")
+
+// mmapFile always fails here; OpenTraceFile falls back to a heap read.
+func mmapFile(*os.File, int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile([]byte) {}

@@ -1,0 +1,22 @@
+//go:build linux || darwin
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping is shared and
+// page-cache backed: concurrent workers replaying the same trace touch one
+// physical copy.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}

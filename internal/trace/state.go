@@ -94,8 +94,8 @@ func (t *FileTrace) RestoreGenState(st GenState) error {
 	if st.Kind != "file" {
 		return fmt.Errorf("trace: generator state kind %q, want \"file\"", st.Kind)
 	}
-	if st.Idx < 0 || st.Idx >= len(t.insts) {
-		return fmt.Errorf("trace: cursor %d out of range for %d-instruction trace", st.Idx, len(t.insts))
+	if st.Idx < 0 || st.Idx >= t.count {
+		return fmt.Errorf("trace: cursor %d out of range for %d-instruction trace", st.Idx, t.count)
 	}
 	t.idx = st.Idx
 	t.Wraps = st.Wraps

@@ -87,7 +87,7 @@ func TestFileTraceCursorRoundTrip(t *testing.T) {
 // wrong generator shape.
 func TestGenStateRejectsMismatch(t *testing.T) {
 	w := MustWorkload("433.milc", 1)
-	ft := &FileTrace{name: "x", insts: make([]Inst, 10)}
+	ft := &FileTrace{name: "x", recs: make([]byte, 10*recordSize), count: 10}
 
 	if err := w.RestoreGenState(ft.SaveGenState()); err == nil {
 		t.Error("file cursor restored into a workload")

@@ -1,0 +1,45 @@
+package uncore
+
+import (
+	"testing"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+)
+
+// TestHierarchyTickZeroAlloc pins the steady-state cost of the uncore hot
+// loop in isolation: with warm queues, pools and the future arena, a cycle
+// of demand traffic (Demand + Tick) must not allocate — across the DL1-hit,
+// MSHR, L2, L3 and DRAM paths, including a real L2 prefetcher feeding the
+// prefetch queue.
+func TestHierarchyTickZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig(1, mem.Page4K)
+	h := New(cfg,
+		func(int) prefetch.L2Prefetcher { return prefetch.NewNextLine(mem.Page4K) },
+		nil, nil)
+
+	// A strided demand stream: misses at every new line exercise the full
+	// miss path; repeat visits exercise the hit path.
+	var va mem.Addr
+	next := func(now uint64) {
+		if h.CanAccept(0) {
+			h.Demand(0, 0x400, va, va%128 == 0, now)
+			va += 64
+			if va >= 1<<22 {
+				va = 0
+			}
+		}
+		h.Tick(now)
+	}
+	now := uint64(0)
+	for ; now < 200_000; now++ {
+		next(now)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		next(now)
+		now++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Demand+Tick allocates %.3f objects/cycle, want 0", avg)
+	}
+}

@@ -9,11 +9,18 @@ import (
 // The tag and request type are associatively searchable (the paper stores
 // them in a separate CAM) so that a later demand miss can be merged onto
 // the in-flight request, promoting it from prefetch to demand (section 5.4).
+//
+// Entries are pooled by the owning Hierarchy (see entryPool): a queue holds
+// the only live reference to its entries, so an entry returns to the free
+// list the moment it is drained or its insertion is abandoned.
 type fillEntry struct {
 	line mem.LineAddr
 	core int
-	// fut resolves when the block's data is available at this level.
-	fut *dram.Future
+	// The block's data is available at this level when fut resolves, or —
+	// for sources whose timing is known up front (an L3 hit) — at the fixed
+	// cycle readyAt, with no Future allocated at all. fut != nil wins.
+	fut     *dram.Future
+	readyAt uint64
 	// isPrefetch records the original request type; promoted flips the
 	// effective type to demand without losing the information that the
 	// block started as a prefetch (a promoted prefetch is a late prefetch).
@@ -31,19 +38,98 @@ type fillEntry struct {
 	// waiters are the core-visible completion futures resolved when this
 	// entry fills its cache.
 	waiters []*dram.Future
-	// needsDRAM marks an L3 fill entry whose memory read could not be
-	// enqueued yet (read queue full); retried every cycle.
-	needsDRAM bool
+}
+
+// readyBy reports whether the block's data has arrived by now.
+func (e *fillEntry) readyBy(now uint64) bool {
+	if e.fut != nil {
+		return e.fut.DoneBy(now)
+	}
+	return e.readyAt <= now
+}
+
+// readyTime returns the cycle the data arrives when it is already known
+// (^uint64(0) while the future is unresolved — a DRAM event will set it).
+func (e *fillEntry) readyTime() uint64 {
+	if e.fut != nil {
+		if !e.fut.Resolved() {
+			return ^uint64(0)
+		}
+		return e.fut.Cycle()
+	}
+	return e.readyAt
+}
+
+// entryPool is a free list of fillEntry objects, reused so the steady-state
+// fill path allocates nothing (waiters keep their backing arrays across
+// reuses).
+type entryPool struct {
+	free []*fillEntry
+}
+
+func (p *entryPool) get() *fillEntry {
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free = p.free[:n-1]
+		return e
+	}
+	return &fillEntry{}
+}
+
+func (p *entryPool) put(e *fillEntry) {
+	w := e.waiters[:0]
+	*e = fillEntry{waiters: w}
+	p.free = append(p.free, e)
 }
 
 // fillQueue is a bounded FIFO of fillEntry with CAM search by line address.
+//
+// To keep the per-cycle drain cheap, the queue maintains two summaries of
+// its entries: minKnown, the earliest arrival cycle among entries whose
+// timing is known, and unresolved, the count of entries still waiting on an
+// unresolved DRAM future. An entry's timing changes exactly once — when the
+// DRAM controller resolves its future — and that can only happen during a
+// bus-cycle tick, so the owning Hierarchy bumps a resolution epoch after
+// each such tick and the queue rescans its entries at most once per epoch
+// (and only while it actually holds unresolved futures). Between epochs,
+// `now < minKnown` proves no entry can be ready without touching any entry.
 type fillQueue struct {
 	entries []*fillEntry
 	cap     int
+	ready   []*fillEntry // scratch returned by popReady, reused across calls
+
+	minKnown   uint64 // earliest known arrival cycle (^uint64(0) if none)
+	unresolved int    // entries waiting on an unresolved future
+	epoch      uint64 // resolution epoch the summaries were computed at
 }
 
 func newFillQueue(capacity int) *fillQueue {
-	return &fillQueue{cap: capacity}
+	return &fillQueue{cap: capacity, minKnown: ^uint64(0)}
+}
+
+// sync refreshes the summaries after futures may have resolved. Cheap when
+// nothing could have changed: same epoch, or no unresolved futures held.
+func (q *fillQueue) sync(epoch uint64) {
+	if q.epoch == epoch {
+		return
+	}
+	q.epoch = epoch
+	if q.unresolved == 0 {
+		return
+	}
+	q.recompute()
+}
+
+func (q *fillQueue) recompute() {
+	q.minKnown = ^uint64(0)
+	q.unresolved = 0
+	for _, e := range q.entries {
+		if t := e.readyTime(); t == ^uint64(0) {
+			q.unresolved++
+		} else if t < q.minKnown {
+			q.minKnown = t
+		}
+	}
 }
 
 func (q *fillQueue) full() bool { return len(q.entries) >= q.cap }
@@ -55,6 +141,11 @@ func (q *fillQueue) push(e *fillEntry) {
 		panic("uncore: fill queue overflow")
 	}
 	q.entries = append(q.entries, e)
+	if t := e.readyTime(); t == ^uint64(0) {
+		q.unresolved++
+	} else if t < q.minKnown {
+		q.minKnown = t
+	}
 }
 
 // find returns the entry for line, or nil (the CAM search).
@@ -68,20 +159,45 @@ func (q *fillQueue) find(line mem.LineAddr) *fillEntry {
 }
 
 // popReady removes and returns entries whose data has arrived by now, in
-// FIFO order, stopping at the first entry whose future has not resolved
-// only if strictFIFO; fill queues are FIFOs for ordering, but fills become
-// ready out of order (L3 hits overtake DRAM misses), so we sweep all ready
-// entries.
-func (q *fillQueue) popReady(now uint64) []*fillEntry {
-	var ready []*fillEntry
+// FIFO order. Fill queues are FIFOs for ordering, but fills become ready
+// out of order (L3 hits overtake DRAM misses), so we sweep all ready
+// entries. The returned slice is scratch owned by the queue, valid until
+// the next popReady call; callers must release each entry to the pool when
+// done with it.
+func (q *fillQueue) popReady(now, epoch uint64) []*fillEntry {
+	q.sync(epoch)
+	if now < q.minKnown {
+		return q.ready[:0] // nothing can be ready; skip the scan
+	}
+	ready := q.ready[:0]
 	kept := q.entries[:0]
+	q.minKnown = ^uint64(0)
+	q.unresolved = 0
 	for _, e := range q.entries {
-		if e.fut.DoneBy(now) && !e.needsDRAM {
+		if e.readyBy(now) {
 			ready = append(ready, e)
 		} else {
 			kept = append(kept, e)
+			if t := e.readyTime(); t == ^uint64(0) {
+				q.unresolved++
+			} else if t < q.minKnown {
+				q.minKnown = t
+			}
 		}
 	}
+	// Clear the tail so dropped entries do not linger past their release.
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
 	q.entries = kept
+	q.ready = ready
 	return ready
+}
+
+// nextReady returns the earliest known arrival cycle over all entries
+// (^uint64(0) when the queue is empty or every entry waits on DRAM — in the
+// latter case a pending DRAM read guarantees a memory event covers it).
+func (q *fillQueue) nextReady(epoch uint64) uint64 {
+	q.sync(epoch)
+	return q.minKnown
 }

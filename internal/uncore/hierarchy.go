@@ -19,6 +19,28 @@ type coreReq struct {
 	pc      uint64
 }
 
+// reqQueue is a FIFO of coreReq values: pushes append, pops advance a head
+// index, and the backing array is reused once the queue runs dry, so the
+// steady-state demand path allocates nothing.
+type reqQueue struct {
+	reqs []coreReq
+	head int
+}
+
+func (q *reqQueue) len() int        { return len(q.reqs) - q.head }
+func (q *reqQueue) front() *coreReq { return &q.reqs[q.head] }
+
+func (q *reqQueue) push(r coreReq) { q.reqs = append(q.reqs, r) }
+
+func (q *reqQueue) pop() {
+	q.reqs[q.head] = coreReq{} // drop the future reference
+	q.head++
+	if q.head == len(q.reqs) {
+		q.reqs = q.reqs[:0]
+		q.head = 0
+	}
+}
+
 // outstandingInfo tracks one in-flight DL1 miss for MSHR-style merging.
 type outstandingInfo struct {
 	fut       *dram.Future
@@ -76,13 +98,21 @@ type Hierarchy struct {
 
 	mem *dram.Memory
 
-	demandQ     [][]*coreReq
+	demandQ     []reqQueue
 	l2fq        []*fillQueue
 	l3fq        *fillQueue
 	pq          []*prefetchQueue
-	outstanding []map[mem.LineAddr]*outstandingInfo
+	outstanding []map[mem.LineAddr]outstandingInfo
 	dl1Fills    [][]dl1Fill
 	pendingWB   []wbReq
+	pool        entryPool
+	futs        dram.Arena
+
+	// futEpoch counts DRAM bus-cycle ticks: the only moments at which the
+	// controller can resolve futures. Fill queues use it to rescan their
+	// entries at most once per bus tick (see fillQueue.sync).
+	futEpoch uint64
+	busRatio uint64
 
 	translators []*mem.Translator
 
@@ -108,6 +138,7 @@ func New(cfg Config, newL2PF func(core int) prefetch.L2Prefetcher, newL1PF func(
 		mem:  memory,
 		l3fq: newFillQueue(cfg.L3FillQueueLen),
 	}
+	h.busRatio = uint64(memory.Params().BusRatio)
 	if fp, ok := h.l3.Policy().(*cache.FiveP); ok {
 		h.fivep = fp
 	}
@@ -134,10 +165,10 @@ func New(cfg Config, newL2PF func(core int) prefetch.L2Prefetcher, newL1PF func(
 			tagCheck = tc.PreIssueTagCheck()
 		}
 		h.preIssueTagCheck = append(h.preIssueTagCheck, tagCheck)
-		h.demandQ = append(h.demandQ, nil)
+		h.demandQ = append(h.demandQ, reqQueue{})
 		h.l2fq = append(h.l2fq, newFillQueue(cfg.L2FillQueueLen))
 		h.pq = append(h.pq, newPrefetchQueue(cfg.PrefetchQueueLen))
-		h.outstanding = append(h.outstanding, make(map[mem.LineAddr]*outstandingInfo))
+		h.outstanding = append(h.outstanding, make(map[mem.LineAddr]outstandingInfo))
 		h.dl1Fills = append(h.dl1Fills, nil)
 		h.translators = append(h.translators, mem.NewTranslator(cfg.Page, cfg.Seed+uint64(c)*0x1234567))
 	}
@@ -173,8 +204,28 @@ func (h *Hierarchy) CanAccept(core int) bool {
 
 // Access performs a demand load or store for core at cycle now. It returns
 // the completion future, or nil when the request cannot be accepted yet
-// (MSHRs full) and the core must retry.
+// (MSHRs full) and the core must retry. It is the allocation-convenient
+// wrapper over Demand (a DL1 hit costs a resolved Future); the core's hot
+// path calls Demand directly.
 func (h *Hierarchy) Access(core int, pc uint64, va mem.Addr, isWrite bool, now uint64) *dram.Future {
+	done, fut, ok := h.Demand(core, pc, va, isWrite, now)
+	switch {
+	case !ok:
+		return nil
+	case fut != nil:
+		return fut
+	default:
+		return dram.ResolvedAt(done)
+	}
+}
+
+// Demand performs a demand load or store for core at cycle now without
+// allocating on the hit path. It returns, in order of precedence:
+//
+//	ok == false: the request cannot be accepted yet (MSHRs full); retry.
+//	fut != nil:  the request is in flight; fut carries the completion.
+//	fut == nil:  a DL1 hit; done is the completion cycle.
+func (h *Hierarchy) Demand(core int, pc uint64, va mem.Addr, isWrite bool, now uint64) (done uint64, fut *dram.Future, ok bool) {
 	tlbLat := h.tlbs[core].Access(va)
 	line := h.translators[core].TranslateLine(mem.LineOf(va))
 	t0 := now + tlbLat
@@ -189,25 +240,28 @@ func (h *Hierarchy) Access(core int, pc uint64, va mem.Addr, isWrite bool, now u
 		if pfHit {
 			h.strideQuery(core, pc, va, t0)
 		}
-		return dram.ResolvedAt(t0 + h.cfg.DL1Latency)
+		return t0 + h.cfg.DL1Latency, nil, true
 	}
 	h.stats.DL1Misses++
 	h.strideQuery(core, pc, va, t0)
 
-	if info, ok := h.outstanding[core][line]; ok {
+	if info, found := h.outstanding[core][line]; found {
 		// MSHR merge: a request for this line is already in flight.
-		info.markWrite = info.markWrite || isWrite
-		return info.fut
+		if isWrite && !info.markWrite {
+			info.markWrite = true
+			h.outstanding[core][line] = info
+		}
+		return 0, info.fut, true
 	}
 	if !h.CanAccept(core) {
-		return nil
+		return 0, nil, false
 	}
-	fut := dram.Pending()
-	h.outstanding[core][line] = &outstandingInfo{fut: fut, markWrite: isWrite}
-	h.demandQ[core] = append(h.demandQ[core], &coreReq{
+	fut = h.futs.Pending()
+	h.outstanding[core][line] = outstandingInfo{fut: fut, markWrite: isWrite}
+	h.demandQ[core].push(coreReq{
 		line: line, readyAt: t0 + h.cfg.DL1Latency, fut: fut, isWrite: isWrite, pc: pc,
 	})
-	return fut
+	return 0, fut, true
 }
 
 // RetireMemOp updates the DL1 prefetcher table at retirement of a
@@ -243,9 +297,9 @@ func (h *Hierarchy) strideQuery(core int, pc uint64, va mem.Addr, t0 uint64) {
 	if !h.CanAccept(core) {
 		return
 	}
-	fut := dram.Pending()
-	h.outstanding[core][line] = &outstandingInfo{fut: fut}
-	h.demandQ[core] = append(h.demandQ[core], &coreReq{
+	fut := h.futs.Pending()
+	h.outstanding[core][line] = outstandingInfo{fut: fut}
+	h.demandQ[core].push(coreReq{
 		line: line, readyAt: t0 + h.cfg.DL1Latency, fut: fut, l1pf: true, pc: pc,
 	})
 	h.stats.StridePrefIssued++
@@ -259,7 +313,7 @@ func (h *Hierarchy) Tick(now uint64) {
 	h.stats.L2FQOccupancySum += uint64(h.l2fq[0].len())
 	h.stats.L3FQOccupancySum += uint64(h.l3fq.len())
 	h.stats.MSHROccupancySum += uint64(len(h.outstanding[0]))
-	h.stats.PrefQOccupancySum += uint64(len(h.pq[0].lines))
+	h.stats.PrefQOccupancySum += uint64(h.pq[0].n)
 	h.drainL3Fills(now)
 	for c := range h.l2fq {
 		h.drainL2Fills(c, now)
@@ -273,6 +327,64 @@ func (h *Hierarchy) Tick(now uint64) {
 	}
 	h.retryWritebacks(now)
 	h.mem.Tick(now)
+	if now%h.busRatio == 0 {
+		h.futEpoch++ // the controllers may have resolved futures just now
+	}
+}
+
+// AccountIdle charges span skipped cycles to the per-cycle sampled
+// statistics. The engine calls it when event-driven stepping jumps the
+// clock over cycles in which no component can do work: the occupancies a
+// per-cycle Tick would have sampled are constant across such a span (a
+// change would itself be an event), so span identical samples are added in
+// one step and Snapshot bytes match the per-cycle engine exactly.
+func (h *Hierarchy) AccountIdle(span uint64) {
+	h.stats.TickSamples += span
+	h.stats.L2FQOccupancySum += span * uint64(h.l2fq[0].len())
+	h.stats.L3FQOccupancySum += span * uint64(h.l3fq.len())
+	h.stats.MSHROccupancySum += span * uint64(len(h.outstanding[0]))
+	h.stats.PrefQOccupancySum += span * uint64(h.pq[0].n)
+}
+
+// NextEvent returns the earliest cycle at or after now at which the uncore
+// can do real work, or ^uint64(0) when nothing is in flight anywhere. It
+// returns now whenever this cycle's Tick would have side effects beyond
+// statistics sampling: a due demand-queue head (retries mutate L2 stats and
+// prefetcher state every cycle they run), an issuable prefetch, a blocked
+// writeback retry, or a non-idle DRAM at a bus-cycle boundary.
+func (h *Hierarchy) NextEvent(now uint64) uint64 {
+	if len(h.pendingWB) > 0 {
+		return now
+	}
+	next := h.mem.NextEvent(now)
+	if next <= now {
+		return now
+	}
+	if t := h.l3fq.nextReady(h.futEpoch); t < next {
+		next = t
+	}
+	for c := range h.l2fq {
+		if !h.pq[c].empty() && !h.l2fq[c].full() {
+			return now // a queued prefetch will issue this cycle
+		}
+		if t := h.l2fq[c].nextReady(h.futEpoch); t < next {
+			next = t
+		}
+		if h.demandQ[c].len() > 0 {
+			if t := h.demandQ[c].front().readyAt; t < next {
+				next = t
+			}
+		}
+		for _, f := range h.dl1Fills[c] {
+			if f.at < next {
+				next = f.at
+			}
+		}
+	}
+	if next < now {
+		return now
+	}
+	return next
 }
 
 // drainL3Fills inserts memory data into the L3.
@@ -280,18 +392,18 @@ func (h *Hierarchy) drainL3Fills(now uint64) {
 	if h.l3fq.len() == 0 {
 		return
 	}
-	for _, e := range h.l3fq.popReady(now) {
-		if h.l3.Peek(e.line) != nil {
-			continue // already present (raced with another fill path)
+	for _, e := range h.l3fq.popReady(now, h.futEpoch) {
+		if h.l3.Peek(e.line) == nil {
+			isPf := e.isPrefetch && !e.promoted
+			ev := h.l3.Insert(e.line, cache.InsertInfo{Core: e.core, IsPrefetch: isPf})
+			if h.fivep != nil {
+				h.fivep.NoteFill(e.core)
+			}
+			if ev.Valid && ev.Dirty {
+				h.writebackToDRAM(ev.Addr, ev.Core)
+			}
 		}
-		isPf := e.isPrefetch && !e.promoted
-		ev := h.l3.Insert(e.line, cache.InsertInfo{Core: e.core, IsPrefetch: isPf})
-		if h.fivep != nil {
-			h.fivep.NoteFill(e.core)
-		}
-		if ev.Valid && ev.Dirty {
-			h.writebackToDRAM(ev.Addr, ev.Core)
-		}
+		h.pool.put(e)
 	}
 }
 
@@ -301,7 +413,7 @@ func (h *Hierarchy) drainL2Fills(core int, now uint64) {
 	if h.l2fq[core].len() == 0 {
 		return
 	}
-	for _, e := range h.l2fq[core].popReady(now) {
+	for _, e := range h.l2fq[core].popReady(now, h.futEpoch) {
 		// The prefetch *bit* is only set when the block was not promoted to
 		// a demand miss in the meantime, but the prefetcher's fill hook
 		// sees every block its requests brought in — the BO prefetcher's
@@ -323,7 +435,7 @@ func (h *Hierarchy) drainL2Fills(core int, now uint64) {
 		}
 		if e.fillL1 {
 			dirty := e.isWrite
-			if info, ok := h.outstanding[core][e.line]; ok {
+			if info, found := h.outstanding[core][e.line]; found {
 				dirty = dirty || info.markWrite
 			}
 			h.insertDL1(core, e.line, dirty, e.l1pf)
@@ -332,6 +444,7 @@ func (h *Hierarchy) drainL2Fills(core int, now uint64) {
 			w.Resolve(now)
 		}
 		delete(h.outstanding[core], e.line)
+		h.pool.put(e)
 	}
 }
 
@@ -423,14 +536,14 @@ func (h *Hierarchy) retryWritebacks(uint64) {
 // cycle (the L2 is dual-ported for the core side in our model).
 func (h *Hierarchy) processDemand(core int, now uint64) {
 	for ports := 0; ports < 2; ports++ {
-		q := h.demandQ[core]
-		if len(q) == 0 || q[0].readyAt > now {
+		q := &h.demandQ[core]
+		if q.len() == 0 || q.front().readyAt > now {
 			return
 		}
-		if !h.processL2Request(core, q[0], now) {
+		if !h.processL2Request(core, q.front(), now) {
 			return // blocked on a full queue downstream; retry next cycle
 		}
-		h.demandQ[core] = q[1:]
+		q.pop()
 	}
 }
 
@@ -480,11 +593,12 @@ func (h *Hierarchy) processL2Request(core int, req *coreReq, now uint64) bool {
 	if h.l2fq[core].full() {
 		return false
 	}
-	e := &fillEntry{
-		line: req.line, core: core, fillL1: true, isWrite: req.isWrite,
-		l1pf: req.l1pf, waiters: []*dram.Future{req.fut},
-	}
+	e := h.pool.get()
+	e.line, e.core = req.line, core
+	e.fillL1, e.isWrite, e.l1pf = true, req.isWrite, req.l1pf
+	e.waiters = append(e.waiters, req.fut)
 	if !h.accessL3(e, now, false) {
+		h.pool.put(e)
 		return false
 	}
 	h.l2fq[core].push(e)
@@ -499,7 +613,7 @@ func (h *Hierarchy) accessL3(e *fillEntry, now uint64, isPrefetch bool) bool {
 	if h.l3.Peek(e.line) != nil {
 		h.l3.Lookup(e.line) // real access: stats + replacement update
 		h.stats.L3Hits++
-		e.fut = dram.ResolvedAt(now + h.cfg.L3Latency)
+		e.fut, e.readyAt = nil, now+h.cfg.L3Latency
 		return true
 	}
 	if l3e := h.l3fq.find(e.line); l3e != nil {
@@ -512,13 +626,14 @@ func (h *Hierarchy) accessL3(e *fillEntry, now uint64, isPrefetch bool) bool {
 	if h.l3fq.full() {
 		return false
 	}
-	fut := h.mem.EnqueueRead(e.line, e.core, dram.Pending())
+	fut := h.mem.EnqueueRead(e.line, e.core, h.futs.Pending())
 	if fut == nil {
 		return false
 	}
 	h.l3.Lookup(e.line) // counts the miss
 	h.stats.L3Misses++
-	l3e := &fillEntry{line: e.line, core: e.core, isPrefetch: isPrefetch, fut: fut}
+	l3e := h.pool.get()
+	l3e.line, l3e.core, l3e.isPrefetch, l3e.fut = e.line, e.core, isPrefetch, fut
 	h.l3fq.push(l3e)
 	e.fut = fut
 	return true
@@ -543,18 +658,20 @@ func (h *Hierarchy) triggerL2Prefetcher(core int, a prefetch.AccessInfo) {
 
 // issueQueuedPrefetch moves at most one prefetch per cycle from core's
 // prefetch queue into the fill path (prefetches have the lowest priority
-// for accessing the L3, section 5.4).
+// for accessing the L3, section 5.4). The queue head is only removed once
+// the downstream accepts it, so a blocked prefetch keeps its age.
 func (h *Hierarchy) issueQueuedPrefetch(core int, now uint64) {
 	if h.pq[core].empty() || h.l2fq[core].full() {
 		return
 	}
-	line, _ := h.pq[core].pop()
-	e := &fillEntry{line: line, core: core, isPrefetch: true}
+	line, _ := h.pq[core].front()
+	e := h.pool.get()
+	e.line, e.core, e.isPrefetch = line, core, true
 	if !h.accessL3(e, now, true) {
-		// Downstream full: put it back (front of the queue).
-		h.pq[core].lines = append([]mem.LineAddr{line}, h.pq[core].lines...)
+		h.pool.put(e) // downstream full: leave the request queued
 		return
 	}
+	h.pq[core].pop()
 	h.l2fq[core].push(e)
 }
 
@@ -565,7 +682,7 @@ func (h *Hierarchy) Drained() bool {
 		return false
 	}
 	for c := range h.l2fq {
-		if h.l2fq[c].len() > 0 || len(h.demandQ[c]) > 0 || !h.pq[c].empty() || len(h.dl1Fills[c]) > 0 {
+		if h.l2fq[c].len() > 0 || h.demandQ[c].len() > 0 || !h.pq[c].empty() || len(h.dl1Fills[c]) > 0 {
 			return false
 		}
 		if len(h.outstanding[c]) > 0 {

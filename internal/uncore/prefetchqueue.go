@@ -5,45 +5,66 @@ import "bopsim/internal/mem"
 // prefetchQueue is the 8-entry queue where L2 prefetch requests wait for
 // access to the L3 (section 5.4). Prefetches have the lowest priority;
 // when the queue is full the *oldest* request is cancelled — stale
-// prefetches are the least likely to still be timely.
+// prefetches are the least likely to still be timely. The storage is a
+// fixed ring so pushes, pops and cancellations never allocate.
 type prefetchQueue struct {
-	lines     []mem.LineAddr
-	cap       int
+	lines     []mem.LineAddr // ring of cap slots
+	head      int
+	n         int
 	Cancelled uint64
 }
 
 func newPrefetchQueue(capacity int) *prefetchQueue {
-	return &prefetchQueue{cap: capacity}
+	return &prefetchQueue{lines: make([]mem.LineAddr, capacity)}
+}
+
+func (q *prefetchQueue) slot(i int) int {
+	s := q.head + i
+	if s >= len(q.lines) {
+		s -= len(q.lines)
+	}
+	return s
 }
 
 // push inserts a prefetch target, cancelling the oldest if full.
 func (q *prefetchQueue) push(line mem.LineAddr) {
-	if len(q.lines) >= q.cap {
-		q.lines = q.lines[1:]
+	if q.n >= len(q.lines) {
+		q.head = q.slot(1)
+		q.n--
 		q.Cancelled++
 	}
-	q.lines = append(q.lines, line)
+	q.lines[q.slot(q.n)] = line
+	q.n++
 }
 
 // contains reports whether line is already queued (associative search used
 // to drop redundant prefetch requests, footnote 13).
 func (q *prefetchQueue) contains(line mem.LineAddr) bool {
-	for _, l := range q.lines {
-		if l == line {
+	for i := 0; i < q.n; i++ {
+		if q.lines[q.slot(i)] == line {
 			return true
 		}
 	}
 	return false
 }
 
-// pop removes and returns the oldest request.
-func (q *prefetchQueue) pop() (mem.LineAddr, bool) {
-	if len(q.lines) == 0 {
+// front returns the oldest request without removing it.
+func (q *prefetchQueue) front() (mem.LineAddr, bool) {
+	if q.n == 0 {
 		return 0, false
 	}
-	l := q.lines[0]
-	q.lines = q.lines[1:]
+	return q.lines[q.head], true
+}
+
+// pop removes and returns the oldest request.
+func (q *prefetchQueue) pop() (mem.LineAddr, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	l := q.lines[q.head]
+	q.head = q.slot(1)
+	q.n--
 	return l, true
 }
 
-func (q *prefetchQueue) empty() bool { return len(q.lines) == 0 }
+func (q *prefetchQueue) empty() bool { return q.n == 0 }

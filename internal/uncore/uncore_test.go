@@ -330,7 +330,9 @@ func TestFillQueueCAM(t *testing.T) {
 		t.Error("CAM search false positive")
 	}
 	e.fut.Resolve(10)
-	ready := q.popReady(10)
+	// A resolution implies a new DRAM bus-tick epoch; pass the bumped epoch
+	// as the hierarchy would.
+	ready := q.popReady(10, 1)
 	if len(ready) != 1 || ready[0] != e {
 		t.Errorf("popReady returned %d entries", len(ready))
 	}
