@@ -1,0 +1,36 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same gates
+# split into legible jobs; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt bovet
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the stock gates plus bovet, the repo's own analyzer suite
+# (internal/analysis): nondeterm, statecodec, hotalloc, registryinit — see
+# DESIGN.md "Static invariants". staticcheck and govulncheck additionally
+# run in CI at pinned versions; run them locally if installed.
+lint: fmt
+	$(GO) vet ./...
+	$(GO) run ./cmd/bovet ./...
+
+bovet:
+	$(GO) run ./cmd/bovet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi

@@ -1,0 +1,127 @@
+// Command bovet runs the repo's custom static-analysis suite: the four
+// analyzers that mechanically enforce the simulator's determinism
+// (nondeterm), checkpoint completeness (statecodec), zero-alloc hot loops
+// (hotalloc) and registry discipline (registryinit). See DESIGN.md "Static
+// invariants".
+//
+// Standalone:
+//
+//	go run ./cmd/bovet ./...
+//	bovet -json ./internal/uncore
+//
+// As a vet tool (the go command drives one invocation per package and
+// supplies export data):
+//
+//	go build -o /tmp/bovet ./cmd/bovet
+//	go vet -vettool=/tmp/bovet ./...
+//
+// Exit status is 0 when the tree is clean, 2 when any diagnostic survives
+// (matching go vet), 1 on operational errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"bopsim/internal/analysis"
+	"bopsim/internal/analysis/hotalloc"
+	"bopsim/internal/analysis/nondeterm"
+	"bopsim/internal/analysis/registryinit"
+	"bopsim/internal/analysis/statecodec"
+)
+
+var suite = []*analysis.Analyzer{
+	nondeterm.Analyzer,
+	statecodec.Analyzer,
+	hotalloc.Analyzer,
+	registryinit.Analyzer,
+}
+
+func main() {
+	// The go vet protocol probes the tool before handing it a package:
+	// -V=full must print a stable identity line, -flags the analyzer flags
+	// (none), and then each invocation gets a single *.cfg argument.
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full" || os.Args[1] == "-V":
+			fmt.Println("bovet version 1")
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(runVetTool(os.Args[1]))
+		}
+	}
+	os.Exit(runStandalone())
+}
+
+func runStandalone() int {
+	fs := flag.NewFlagSet("bovet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("analyzers", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: bovet [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, "", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bovet:", err)
+		return 1
+	}
+	findings, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bovet:", err)
+		return 1
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(findingsJSON(findings)); err != nil {
+			fmt.Fprintln(os.Stderr, "bovet:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type findingJSON struct {
+	Analyzer string `json:"analyzer"`
+	Position string `json:"position"`
+	Message  string `json:"message"`
+}
+
+func findingsJSON(fs []analysis.Finding) []findingJSON {
+	out := make([]findingJSON, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, findingJSON{Analyzer: f.Analyzer, Position: f.Posn.String(), Message: f.Message})
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bopsim/internal/analysis"
+)
+
+// The go vet driver protocol (x/tools' "unitchecker" protocol): the go
+// command invokes the tool once per package with a JSON config file naming
+// the package's sources and the export data of every dependency, expects a
+// facts file to be written to VetxOutput, and treats exit status 2 as
+// "diagnostics found". bovet carries no cross-package facts, so the facts
+// file is empty — but it must exist or the build system errors.
+
+// vetConfig mirrors the subset of the config the go command writes that
+// bovet consumes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bovet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bovet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "bovet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: only facts wanted, and bovet has none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The go command also dispatches test variants of each package.
+		// bovet's invariants govern shipped simulator code — tests probe the
+		// registries and clocks deliberately — so test files are skipped,
+		// matching what standalone `bovet ./...` analyzes.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bovet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0 // external _test package: nothing but test files
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewInfo()
+	tconf := types.Config{Importer: imp}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "bovet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		PkgPath: cfg.ImportPath,
+		Dir:     cfg.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bovet:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Posn, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

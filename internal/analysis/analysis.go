@@ -1,0 +1,186 @@
+// Package analysis is a self-contained static-analysis framework for the
+// bovet analyzer suite (cmd/bovet). It mirrors the shape of the
+// golang.org/x/tools/go/analysis API — Analyzer, Pass, Diagnostic — but is
+// built purely on the standard library's go/ast and go/types, because this
+// module deliberately has no third-party dependencies.
+//
+// The suite mechanically enforces the three invariants every result in this
+// repo rests on (see DESIGN.md "Static invariants"):
+//
+//   - nondeterm:     result paths must not consult wall clocks, global
+//     randomness, the environment, or unsorted map iteration order.
+//   - statecodec:    every mutable field of a SaveState/RestoreState type
+//     must round-trip through its codec methods.
+//   - hotalloc:      functions on a //bovet:hotpath must not contain
+//     allocation sites.
+//   - registryinit:  prefetcher/workload registration happens only from
+//     init functions of internal packages, with complete Definitions.
+//
+// Justified exceptions are annotated in source with
+// "//bovet:allow <analyzer>[,<analyzer>] <reason>"; the reason is
+// mandatory (see directives.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run is invoked once per loaded
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //bovet:allow directives. It must be a single lower-case word.
+	Name string
+	// Doc is a short description shown by `bovet -help`.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: an analyzer name plus a concrete file
+// position, ready to print or compare.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Posn, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position: //bovet:allow-suppressed diagnostics are
+// dropped, and malformed or unknown-name directives are themselves reported
+// under the pseudo-analyzer "bovet" (a typoed directive must not silently
+// fail to suppress).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows, bad := parseAllows(pkg.Fset, pkg.Files, analyzers)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				if allows.suppresses(a.Name, posn) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Posn: posn, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	// Position order makes output byte-stable across runs regardless of
+	// package load order; the suite practices the determinism it preaches.
+	less := func(a, b Finding) bool {
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && less(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// FuncFor returns the *types.Func a call expression statically resolves to,
+// or nil for builtins, type conversions, function-typed variables and
+// interface-typed callees whose dynamic target is unknown. Shared by the
+// analyzers that classify calls (nondeterm, hotalloc, registryinit).
+func FuncFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsBuiltin reports whether a call invokes the named builtin (append, make,
+// new, ...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc runs parseAllows over one synthetic file with two known
+// analyzers, returning the allow set and the malformed-directive findings.
+func parseSrc(t *testing.T, src string) (allowSet, []Finding) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	known := []*Analyzer{{Name: "nondeterm"}, {Name: "hotalloc"}}
+	return parseAllows(fset, []*ast.File{f}, known)
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	allows, bad := parseSrc(t, `package p
+
+func f() {
+	//bovet:allow nondeterm justified because this is a fixture
+	g()
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive findings: %v", bad)
+	}
+	// The directive is on line 4; it must cover its own line and line 5.
+	for _, line := range []int{4, 5} {
+		if !allows.suppresses("nondeterm", token.Position{Filename: "fixture.go", Line: line}) {
+			t.Errorf("line %d: directive does not suppress nondeterm", line)
+		}
+	}
+	if allows.suppresses("nondeterm", token.Position{Filename: "fixture.go", Line: 6}) {
+		t.Error("line 6: directive leaks beyond the next line")
+	}
+	if allows.suppresses("hotalloc", token.Position{Filename: "fixture.go", Line: 5}) {
+		t.Error("directive for nondeterm must not suppress hotalloc")
+	}
+}
+
+func TestAllowDirectiveAnalyzerList(t *testing.T) {
+	allows, bad := parseSrc(t, `package p
+
+//bovet:allow nondeterm,hotalloc shared scratch justified twice over
+var x int
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive findings: %v", bad)
+	}
+	for _, name := range []string{"nondeterm", "hotalloc"} {
+		if !allows.suppresses(name, token.Position{Filename: "fixture.go", Line: 4}) {
+			t.Errorf("comma list does not suppress %s", name)
+		}
+	}
+}
+
+func TestMalformedDirectivesAreFindings(t *testing.T) {
+	cases := []struct {
+		name    string
+		comment string
+		wantMsg string
+	}{
+		{"missing reason", "//bovet:allow nondeterm", "has no justifying reason"},
+		{"missing everything", "//bovet:allow", "needs an analyzer name and a justifying reason"},
+		{"unknown analyzer", "//bovet:allow nosuchpass because reasons", "unknown analyzer nosuchpass"},
+		{"unknown verb", "//bovet:frobnicate", "unknown bovet directive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			allows, bad := parseSrc(t, "package p\n\n"+tc.comment+"\nvar x int\n")
+			if len(bad) != 1 {
+				t.Fatalf("want exactly one finding, got %v", bad)
+			}
+			if bad[0].Analyzer != "bovet" {
+				t.Errorf("finding attributed to %q, want the bovet pseudo-analyzer", bad[0].Analyzer)
+			}
+			if !strings.Contains(bad[0].Message, tc.wantMsg) {
+				t.Errorf("finding %q does not mention %q", bad[0].Message, tc.wantMsg)
+			}
+			if allows.suppresses("nondeterm", token.Position{Filename: "fixture.go", Line: 4}) {
+				t.Error("a malformed directive must not suppress anything")
+			}
+		})
+	}
+}
+
+func TestHotpathDirective(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", `package p
+
+// Hot is annotated.
+//
+//bovet:hotpath
+func Hot() {}
+
+// Cold mentions bovet:hotpath in prose only.
+func Cold() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	byName := map[string]bool{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			byName[fd.Name.Name] = HasHotpathDirective(fd)
+		}
+	}
+	if !byName["Hot"] {
+		t.Error("Hot: directive not detected")
+	}
+	if byName["Cold"] {
+		t.Error("Cold: prose mention misdetected as a directive")
+	}
+}

@@ -1,0 +1,275 @@
+// Package hotalloc is the static counterpart of the testing.AllocsPerRun
+// guards pinning the PR 6 zero-alloc work: in functions marked
+// //bovet:hotpath — and everything statically reachable from them inside
+// the same package — it flags allocation sites.
+//
+// Flagged: map/slice/pointer composite literals, make, new, function
+// literals (closure capture), interface boxing of non-pointer-shaped
+// concrete values (in call arguments, assignments, conversions and
+// returns), and append calls that are not the amortized self-append
+// pattern (x = append(x, ...) / x = append(x[:0], ...)), since a fresh
+// destination allocates every call while self-append reaches a steady-state
+// capacity.
+//
+// Reachability is intra-package and static: calls through interfaces are
+// not followed, so a hot implementation of an interface method (a
+// prefetcher's OnAccess, a generator's Next) carries its own
+// //bovet:hotpath annotation. Cold paths that genuinely must allocate —
+// error construction on a failure branch, a growth path amortized by
+// design — carry //bovet:allow hotalloc with the justification.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bopsim/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation sites in functions reachable from a //bovet:hotpath root",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+			if analysis.HasHotpathDirective(fd) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	// Static intra-package reachability from the annotated roots.
+	hot := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if fd == nil || fd.Body == nil || hot[fd] {
+			return
+		}
+		hot[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := analysis.FuncFor(pass.TypesInfo, call); callee != nil {
+				if next, ok := decls[callee]; ok {
+					visit(next)
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range roots {
+		visit(fd)
+	}
+
+	for fd := range hot {
+		checkFunc(pass, fd)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in hot path: closures allocate when they capture")
+			return false // its body is not part of the synchronous hot path
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hot path heap-allocates")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fd, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkBoxing(pass, info.TypeOf(n.Lhs[i]), rhs)
+				}
+			}
+		case *ast.ReturnStmt:
+			checkReturn(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in hot path allocates")
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in hot path allocates")
+	}
+}
+
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	switch {
+	case analysis.IsBuiltin(info, call, "make"):
+		pass.Reportf(call.Pos(), "make in hot path allocates; preallocate in the constructor and reuse")
+		return
+	case analysis.IsBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "new in hot path allocates")
+		return
+	case analysis.IsBuiltin(info, call, "append"):
+		checkAppend(pass, fd, call)
+		return
+	}
+	// Interface boxing at the call boundary: a concrete non-pointer-shaped
+	// argument passed as an interface parameter allocates.
+	sig, ok := typeOfFun(info, call).(*types.Signature)
+	if !ok {
+		// A type conversion T(x) with T an interface boxes too.
+		if len(call.Args) == 1 {
+			if t := conversionTarget(info, call); t != nil {
+				checkBoxing(pass, t, call.Args[0])
+			}
+		}
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, pt, arg)
+	}
+}
+
+func typeOfFun(info *types.Info, call *ast.CallExpr) types.Type {
+	if tv, ok := info.Types[call.Fun]; ok && !tv.IsType() {
+		return tv.Type
+	}
+	return nil
+}
+
+func conversionTarget(info *types.Info, call *ast.CallExpr) types.Type {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return tv.Type
+	}
+	return nil
+}
+
+// checkAppend allows the amortized receiver-owned scratch pattern —
+// x = append(x, ...) or x = append(x[:0], ...) with the destination spelled
+// identically — and flags every other append (fresh destination every call).
+func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if assign, ok := enclosingAssign(fd, call); ok {
+		src := call.Args[0]
+		if slice, isSlice := ast.Unparen(src).(*ast.SliceExpr); isSlice {
+			src = slice.X
+		}
+		if types.ExprString(ast.Unparen(assign)) == types.ExprString(ast.Unparen(src)) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "append into a fresh slice in hot path allocates every call; use the amortized self-append pattern (x = append(x[:0], ...)) on a reused buffer")
+}
+
+// enclosingAssign returns the single LHS expression when call is the sole
+// RHS of an assignment (x = append(...)).
+func enclosingAssign(fd *ast.FuncDecl, call *ast.CallExpr) (ast.Expr, bool) {
+	var out ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if a, ok := n.(*ast.AssignStmt); ok && len(a.Lhs) == 1 && len(a.Rhs) == 1 {
+			if ast.Unparen(a.Rhs[0]) == call {
+				out = a.Lhs[0]
+				return false
+			}
+		}
+		return true
+	})
+	return out, out != nil
+}
+
+func checkReturn(pass *analysis.Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+	results := fd.Type.Results
+	if results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, f := range results.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return // multi-value call forwarding; boxing happened at the callee
+	}
+	for i, expr := range ret.Results {
+		checkBoxing(pass, resultTypes[i], expr)
+	}
+}
+
+// checkBoxing reports when a concrete non-pointer-shaped value is converted
+// to an interface type: the conversion heap-allocates the value's copy.
+// Pointer-shaped kinds (pointers, maps, chans, funcs, unsafe.Pointer) store
+// directly in the interface word.
+func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if st == types.Typ[types.UntypedNil] {
+		return
+	}
+	switch u := st.Underlying().(type) {
+	case *types.Interface:
+		return // interface-to-interface: no box
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return // pointer-shaped: stored in the interface word
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer || u.Info()&types.IsUntyped != 0 && tv.Value == nil {
+			return
+		}
+	}
+	pass.Reportf(src.Pos(), "%s value boxed into interface %s in hot path allocates; pass a pointer or keep the call off the hot path", st, dst)
+}

@@ -1,0 +1,54 @@
+// Package cpu is a fixture for the hotalloc analyzer: Cycle is a hotpath
+// root, step is reachable from it, Cold is not.
+package cpu
+
+// Core owns reusable scratch buffers, the sanctioned alternative to
+// allocating per call.
+type Core struct {
+	buf []uint64
+	out []uint64
+}
+
+// Cycle is a hot root: everything statically reachable from it inside this
+// package must be allocation-free.
+//
+//bovet:hotpath
+func (c *Core) Cycle(now uint64) {
+	c.step(now)
+	sink(c) // pointers are pointer-shaped: no boxing allocation
+}
+
+// step is hot by reachability, not by annotation.
+func (c *Core) step(now uint64) {
+	m := map[uint64]bool{} // want `map literal in hot path allocates`
+	_ = m
+	s := []uint64{now} // want `slice literal in hot path allocates`
+	_ = s
+	p := &Core{} // want `&composite literal in hot path heap-allocates`
+	_ = p
+	t := make([]uint64, 8) // want `make in hot path allocates`
+	_ = t
+	q := new(Core) // want `new in hot path allocates`
+	_ = q
+	c.out = append(c.buf, now)        // want `append into a fresh slice in hot path`
+	c.buf = append(c.buf[:0], now)    // amortized self-append: allowed
+	c.buf = append(c.buf, now)        // growing the same buffer: allowed
+	f := func() uint64 { return now } // want `function literal in hot path`
+	_ = f()
+	sink(now) // want `value boxed into interface`
+}
+
+func sink(v any) {}
+
+// Cold is not reachable from any hotpath root: it may allocate freely.
+func Cold() []uint64 {
+	return make([]uint64, 4)
+}
+
+// Allowed documents a justified warmup-only allocation.
+//
+//bovet:hotpath
+func Allowed() *Core {
+	//bovet:allow hotalloc fixture: one-time warmup allocation, not steady state
+	return &Core{}
+}

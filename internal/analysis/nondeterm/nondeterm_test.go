@@ -1,0 +1,12 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"bopsim/internal/analysis/analysistest"
+	"bopsim/internal/analysis/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterm.Analyzer)
+}

@@ -1,0 +1,84 @@
+// Package engine is a result-affecting fixture for the nondeterm analyzer:
+// its import path puts it in the bopsim/internal namespace without naming an
+// allowlisted infra package.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Clock samples ambient state that is not a function of engine.Options.
+func Clock() int64 {
+	t := time.Now() // want `call to time.Now in result-affecting package`
+	return t.Unix()
+}
+
+// Env reads the process environment.
+func Env() string {
+	return os.Getenv("BOPSIM_SEED") // want `call to os.Getenv in result-affecting package`
+}
+
+// GlobalRand mixes the banned global source with a sanctioned seeded one.
+func GlobalRand(r *rand.Rand) int {
+	if r.Intn(2) == 0 { // method on a seeded *rand.Rand: allowed
+		return rand.Intn(10) // want `uses the global random source`
+	}
+	return r.Intn(10)
+}
+
+// Print feeds map iteration order straight into a formatted sink.
+func Print(m map[string]int, sb *strings.Builder) {
+	for k, v := range m { // want `map iteration feeds fmt.Fprintf`
+		fmt.Fprintf(sb, "%s=%d\n", k, v)
+	}
+}
+
+// Unsorted collects keys in map order and never sorts them.
+func Unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to keys in map-iteration order`
+	}
+	return keys
+}
+
+// Sorted is the sanctioned collect-sort-iterate pattern: the append is
+// allowed because a sort call on the same slice follows the loop.
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Accumulate sums floats in map order; float addition is not associative.
+func Accumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `accumulating float sum in map-iteration order`
+	}
+	return sum
+}
+
+// SliceRange iterates a slice, whose order is deterministic: no finding.
+func SliceRange(xs []float64, sb *strings.Builder) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+		fmt.Fprintf(sb, "%g\n", v)
+	}
+	return sum
+}
+
+// Allowed documents a justified exception with the mandatory reason.
+func Allowed() int64 {
+	//bovet:allow nondeterm fixture: proves a justified directive suppresses the diagnostic
+	return time.Now().Unix()
+}

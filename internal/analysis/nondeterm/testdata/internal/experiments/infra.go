@@ -1,0 +1,15 @@
+// Package experiments is allowlisted infrastructure (see config.go): status
+// output and scheduling may consult ambient state freely, so none of these
+// lines produce findings.
+package experiments
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp is fine here: wall-clock time in progress output is not a result.
+func Stamp() int64 { return time.Now().Unix() }
+
+// Env is fine here: infra may read its own knobs from the environment.
+func Env() string { return os.Getenv("BOPSIM_STATUS") }

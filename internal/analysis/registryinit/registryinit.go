@@ -1,0 +1,280 @@
+// Package registryinit polices the two plug-in registries (prefetchers and
+// workload generators): registration is an init-time programming action
+// performed by internal packages, never a runtime behavior — and every
+// registered Definition must be complete enough for the registry's
+// contracts to hold.
+//
+// Rules:
+//
+//  1. prefetch.RegisterL1/RegisterL2 and trace.Register may be called only
+//     at init time: from the body of a func init(), or from an unexported
+//     function/method reachable exclusively from init (the registration-
+//     helper idiom — registerMix(), a benchDef.register() loop). Anywhere
+//     else, a duplicate-name panic would take down a running sweep instead
+//     of failing at program start. A helper whose address escapes as a
+//     value, or that is also called from runtime code, does not qualify.
+//  2. Only packages under bopsim/internal/ may register: registration from
+//     cmd/* or an external module would bypass the blank-import bundles
+//     (internal/prefetch/all) that define which implementations exist.
+//  3. The Definition literal must declare a non-nil Defaults (the parameter
+//     schema Normalize validates against — nil means "no schema", which
+//     silently rejects every parameter), a Build, and a non-nil Validate
+//     hook (so Normalize never has to construct the component to check a
+//     spec).
+//
+// The Definition must be syntactically visible: a composite literal passed
+// directly, or a local variable assigned one in the same init body.
+package registryinit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bopsim/internal/analysis"
+)
+
+// Analyzer is the registryinit pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "registryinit",
+	Doc:  "registry Register calls only from init in internal packages, with complete Definitions",
+	Run:  run,
+}
+
+// requiredFields must be present and non-nil in every registered
+// Definition literal.
+var requiredFields = []string{"Defaults", "Build", "Validate"}
+
+func run(pass *analysis.Pass) error {
+	initSafe := initOnlyFuncs(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, initSafe[fd])
+		}
+	}
+	return nil
+}
+
+// initOnlyFuncs computes the package's init-time functions: init itself,
+// plus every unexported function whose callers are all init-time and whose
+// value never escapes (never referenced outside call position). Fixpoint
+// over the intra-package call graph, starting pessimistic.
+func initOnlyFuncs(pass *analysis.Pass) map[*ast.FuncDecl]bool {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var all []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			all = append(all, fd)
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	callers := make(map[*ast.FuncDecl]map[*ast.FuncDecl]bool) // callee -> callers
+	escaped := make(map[*ast.FuncDecl]bool)                   // referenced as a value
+	consumed := make(map[*ast.Ident]bool)                     // idents that are direct-call callees
+	for _, caller := range all {
+		ast.Inspect(caller.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := analysis.FuncFor(pass.TypesInfo, call); callee != nil {
+				if fd, ok := decls[callee]; ok {
+					if callers[fd] == nil {
+						callers[fd] = make(map[*ast.FuncDecl]bool)
+					}
+					callers[fd][caller] = true
+					if id := calleeIdent(call); id != nil {
+						consumed[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, caller := range all {
+		ast.Inspect(caller.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || consumed[id] {
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if fd, ok := decls[fn]; ok {
+					escaped[fd] = true // func value used outside call position
+				}
+			}
+			return true
+		})
+	}
+
+	safe := make(map[*ast.FuncDecl]bool)
+	for _, fd := range all {
+		if fd.Recv == nil && fd.Name.Name == "init" {
+			safe[fd] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range all {
+			if safe[fd] || fd.Name.IsExported() || escaped[fd] || len(callers[fd]) == 0 {
+				continue
+			}
+			ok := true
+			for caller := range callers[fd] {
+				if !safe[caller] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				safe[fd] = true
+				changed = true
+			}
+		}
+	}
+	return safe
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, inInit bool) {
+	depth := 0 // FuncLit nesting: a call inside a closure is not "in init"
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			depth++
+			ast.Inspect(n.Body, walk)
+			depth--
+			return false
+		case *ast.CallExpr:
+			if name, ok := registryCall(pass, n); ok {
+				checkRegistration(pass, fd, n, name, inInit && depth == 0)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// registryCall reports whether the call targets one of the policed
+// registration functions.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.FuncFor(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if names, ok := analysis.RegistryFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
+		return fn.Pkg().Name() + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func checkRegistration(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, name string, inInit bool) {
+	if !analysis.InternalPackage(pass.Pkg.Path()) {
+		pass.Reportf(call.Pos(), "%s called from %s: registration is reserved to bopsim/internal packages (see internal/prefetch/all)", name, pass.Pkg.Path())
+	}
+	if !inInit {
+		pass.Reportf(call.Pos(), "%s called outside func init(): registration must be an init-time action so duplicate names fail at program start", name)
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit := definitionLiteral(pass, fd, call.Args[1])
+	if lit == nil {
+		pass.Reportf(call.Args[1].Pos(), "%s: definition is not a composite literal visible in this init; declare it inline so its completeness can be checked", name)
+		return
+	}
+	fields := make(map[string]ast.Expr, len(lit.Elts))
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			fields[key.Name] = kv.Value
+		}
+	}
+	for _, want := range requiredFields {
+		value, ok := fields[want]
+		if !ok {
+			pass.Reportf(lit.Pos(), "%s: definition missing %s %s", name, want, fieldWhy(want))
+			continue
+		}
+		if id, ok := ast.Unparen(value).(*ast.Ident); ok && id.Name == "nil" {
+			pass.Reportf(value.Pos(), "%s: definition sets %s to nil %s", name, want, fieldWhy(want))
+		}
+	}
+}
+
+func fieldWhy(field string) string {
+	switch field {
+	case "Defaults":
+		return "(the parameter schema; use an empty map for \"accepts no parameters\")"
+	case "Validate":
+		return "(Normalize must be able to check a spec without constructing the component)"
+	default:
+		return "(the registry panics without it)"
+	}
+}
+
+// definitionLiteral resolves the definition argument to a composite
+// literal: either directly, or through a single assignment to a local
+// variable inside the same function.
+func definitionLiteral(pass *analysis.Pass, fd *ast.FuncDecl, arg ast.Expr) *ast.CompositeLit {
+	switch arg := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		return arg
+	case *ast.UnaryExpr:
+		if arg.Op.String() == "&" {
+			if lit, ok := ast.Unparen(arg.X).(*ast.CompositeLit); ok {
+				return lit
+			}
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[arg]
+		if obj == nil {
+			return nil
+		}
+		var lit *ast.CompositeLit
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || i >= len(assign.Rhs) {
+					continue
+				}
+				if def, isDef := pass.TypesInfo.Defs[id]; isDef && def == obj {
+					if l, ok := ast.Unparen(assign.Rhs[i]).(*ast.CompositeLit); ok {
+						lit = l
+					}
+				} else if pass.TypesInfo.Uses[id] == obj {
+					lit = nil // reassigned after declaration: give up
+				}
+			}
+			return true
+		})
+		return lit
+	}
+	return nil
+}

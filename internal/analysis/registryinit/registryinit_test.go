@@ -1,0 +1,12 @@
+package registryinit_test
+
+import (
+	"testing"
+
+	"bopsim/internal/analysis/analysistest"
+	"bopsim/internal/analysis/registryinit"
+)
+
+func TestRegistryinit(t *testing.T) {
+	analysistest.Run(t, "testdata", registryinit.Analyzer)
+}

@@ -1,0 +1,72 @@
+// Package core exercises the registryinit rules from an internal package:
+// init-time registration with complete definitions passes, everything else
+// is a finding.
+package core
+
+import (
+	"bopsim/internal/prefetch"
+	"bopsim/internal/trace"
+)
+
+func init() {
+	prefetch.RegisterL2("good", prefetch.Definition{
+		Defaults: map[string]string{},
+		Build:    build,
+		Validate: validate,
+	})
+	trace.Register("goodgen", trace.Definition{
+		Defaults: map[string]string{"n": "1"},
+		Build:    buildGen,
+		Validate: validateGen,
+	})
+	registerMore()
+
+	prefetch.RegisterL2("incomplete", prefetch.Definition{ // want `definition missing Defaults` `definition missing Validate`
+		Build: build,
+	})
+	prefetch.RegisterL1("nilhook", prefetch.Definition{
+		Defaults: map[string]string{},
+		Build:    build,
+		Validate: nil, // want `definition sets Validate to nil`
+	})
+
+	// A definition built in a single local assignment is still checkable.
+	def := prefetch.Definition{
+		Defaults: map[string]string{},
+		Build:    build,
+		Validate: validate,
+	}
+	prefetch.RegisterL2("local", def)
+}
+
+// registerMore is unexported and called only from init, so the init-only
+// fixpoint accepts registrations inside it (the registerMix idiom).
+func registerMore() {
+	prefetch.RegisterL2("helper", prefetch.Definition{
+		Defaults: map[string]string{},
+		Build:    build,
+		Validate: validate,
+	})
+}
+
+// RegisterLate is exported: it could run while the engine is already
+// simulating, so registration inside it is rejected.
+func RegisterLate() {
+	prefetch.RegisterL2("late", prefetch.Definition{ // want `called outside func init\(\)`
+		Defaults: map[string]string{},
+		Build:    build,
+		Validate: validate,
+	})
+}
+
+// RegisterFrom takes the definition as a parameter, so its completeness
+// cannot be checked at the call site.
+func RegisterFrom(def prefetch.Definition) {
+	prefetch.RegisterL2("param", def) // want `called outside func init\(\)` `definition is not a composite literal`
+}
+
+func build(prefetch.Values) (any, error) { return nil, nil }
+func validate(prefetch.Values) error     { return nil }
+
+func buildGen(map[string]string) (any, error) { return nil, nil }
+func validateGen(map[string]string) error     { return nil }

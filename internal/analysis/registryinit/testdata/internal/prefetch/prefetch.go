@@ -1,0 +1,23 @@
+// Package prefetch is a stub of the real registry API. registryinit matches
+// registration calls by import path and function name and checks Definition
+// fields by name, so only the shape matters here — the nested fixture
+// module is named bopsim precisely so this package's import path collides
+// with the real one.
+package prefetch
+
+// Values mirrors the real parameter map.
+type Values map[string]string
+
+// Definition mirrors the fields the analyzer requires.
+type Definition struct {
+	Defaults map[string]string
+	Build    func(Values) (any, error)
+	Validate func(Values) error
+	Help     string
+}
+
+// RegisterL2 registers an L2 prefetcher definition.
+func RegisterL2(name string, def Definition) {}
+
+// RegisterL1 registers an L1 prefetcher definition.
+func RegisterL1(name string, def Definition) {}

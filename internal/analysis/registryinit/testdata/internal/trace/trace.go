@@ -1,0 +1,13 @@
+// Package trace is a stub of the real workload registry API (see the
+// prefetch stub for why a stub suffices).
+package trace
+
+// Definition mirrors the fields the analyzer requires.
+type Definition struct {
+	Defaults map[string]string
+	Build    func(map[string]string) (any, error)
+	Validate func(map[string]string) error
+}
+
+// Register registers a workload generator definition.
+func Register(name string, def Definition) {}

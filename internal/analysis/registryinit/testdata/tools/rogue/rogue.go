@@ -1,0 +1,13 @@
+// Package rogue registers from outside bopsim/internal: the registries are
+// reserved to the curated internal packages, even at init time.
+package rogue
+
+import "bopsim/internal/prefetch"
+
+func init() {
+	prefetch.RegisterL2("rogue", prefetch.Definition{ // want `registration is reserved to bopsim/internal packages`
+		Defaults: map[string]string{},
+		Build:    func(prefetch.Values) (any, error) { return nil, nil },
+		Validate: func(prefetch.Values) error { return nil },
+	})
+}

@@ -1,0 +1,71 @@
+// Package cache is a synthetic fixture for the statecodec analyzer covering
+// each classification: serialized state, forgotten state, immutable
+// configuration, exempt wiring, and an annotated exception.
+package cache
+
+// Counter checkpoints hits but forgets misses.
+type Counter struct {
+	limit  int // never mutated: configuration, no finding
+	hits   int
+	misses int // want `Counter\.misses is mutated by methods but never touched by SaveState/RestoreState`
+	//bovet:allow statecodec fixture: scratch is rebuilt on every call, never carried across a checkpoint
+	scratch []byte
+	onEvict func() // func-typed fields are wiring, exempt
+}
+
+// Observe mutates hits, misses and scratch.
+func (c *Counter) Observe(hit bool) {
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.scratch = c.scratch[:0]
+	if c.onEvict != nil && c.hits > c.limit {
+		c.onEvict()
+	}
+}
+
+// SaveState serializes hits only.
+func (c *Counter) SaveState() ([]byte, error) {
+	return []byte{byte(c.hits)}, nil
+}
+
+// RestoreState restores hits only.
+func (c *Counter) RestoreState(b []byte) error {
+	c.hits = int(b[0])
+	return nil
+}
+
+// Meter proves transitive reference tracking: the codec touches its fields
+// only through the encode helper, which must count as referenced.
+type Meter struct {
+	total uint64
+	rate  uint64
+}
+
+// Tick mutates both fields.
+func (m *Meter) Tick() {
+	m.total++
+	m.rate++
+}
+
+// SaveState delegates to a same-package helper.
+func (m *Meter) SaveState() ([]byte, error) { return m.encode(), nil }
+
+func (m *Meter) encode() []byte { return []byte{byte(m.total), byte(m.rate)} }
+
+// RestoreState restores both fields directly.
+func (m *Meter) RestoreState(b []byte) error {
+	m.total = uint64(b[0])
+	m.rate = uint64(b[1])
+	return nil
+}
+
+// Plain has mutable fields but no codec methods: out of scope, no findings.
+type Plain struct {
+	n int
+}
+
+// Bump mutates n.
+func (p *Plain) Bump() { p.n++ }

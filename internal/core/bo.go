@@ -142,6 +142,8 @@ func (p *Prefetcher) Stats() Stats { return p.stats }
 
 // OnAccess implements prefetch.L2Prefetcher: learning step plus at most one
 // prefetch (BO is a degree-one prefetcher, section 4.3).
+//
+//bovet:hotpath
 func (p *Prefetcher) OnAccess(a prefetch.AccessInfo) []mem.LineAddr {
 	if !a.Eligible() && !p.params.TriggerOnAllAccesses {
 		return nil

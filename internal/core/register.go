@@ -15,7 +15,9 @@ import (
 func init() {
 	def := DefaultParams()
 	prefetch.RegisterL2("bo", prefetch.Definition[prefetch.L2Prefetcher]{
-		Help: "Best-Offset prefetcher (the paper's design, Table 2 defaults)",
+		Help:     "Best-Offset prefetcher (the paper's design, Table 2 defaults)",
+		Build:    buildSpec,
+		Validate: func(v prefetch.Values) error { _, err := buildSpec(mem.Page4K, v); return err },
 		Defaults: map[string]string{
 			"rr":        fmt.Sprint(def.RREntries),
 			"tagbits":   fmt.Sprint(def.RRTagBits),
@@ -30,48 +32,52 @@ func init() {
 			"minbad":    "0",
 			"maxbad":    "4",
 		},
-		Build: func(page mem.PageSize, v prefetch.Values) (prefetch.L2Prefetcher, error) {
-			p := DefaultParams()
-			var err error
-			p.RREntries = v.Int("rr", p.RREntries, &err)
-			p.RRTagBits = v.Uint("tagbits", p.RRTagBits, &err)
-			p.ScoreMax = v.Int("scoremax", p.ScoreMax, &err)
-			p.RoundMax = v.Int("roundmax", p.RoundMax, &err)
-			p.BadScore = v.Int("badscore", p.BadScore, &err)
-			p.Offsets = v.Ints("offsets", p.Offsets, &err)
-			p.Degree = v.Int("degree", 1, &err)
-			p.InsertRRAtIssue = v.Bool("rratissue", false, &err)
-			p.TriggerOnAllAccesses = v.Bool("allaccess", false, &err)
-			p.AdaptiveThrottle = v.Bool("adaptive", false, &err)
-			p.MinBadScore = v.Int("minbad", 0, &err)
-			p.MaxBadScore = v.Int("maxbad", 4, &err)
-			if err != nil {
-				return nil, err
-			}
-			if p.RREntries < 1 || p.RREntries&(p.RREntries-1) != 0 {
-				return nil, fmt.Errorf("rr=%d must be a positive power of two", p.RREntries)
-			}
-			if p.RRTagBits < 1 || p.RRTagBits > 16 {
-				return nil, fmt.Errorf("tagbits=%d must be in 1..16", p.RRTagBits)
-			}
-			if p.ScoreMax < 1 || p.RoundMax < 1 {
-				return nil, fmt.Errorf("scoremax=%d and roundmax=%d must be >= 1", p.ScoreMax, p.RoundMax)
-			}
-			if len(p.Offsets) == 0 {
-				return nil, fmt.Errorf("offsets must not be empty")
-			}
-			for _, d := range p.Offsets {
-				if d == 0 {
-					return nil, fmt.Errorf("offset 0 is meaningless")
-				}
-			}
-			if p.Degree < 1 || p.Degree > 2 {
-				return nil, fmt.Errorf("degree=%d must be 1 or 2", p.Degree)
-			}
-			if p.MinBadScore > p.MaxBadScore {
-				return nil, fmt.Errorf("minbad=%d above maxbad=%d", p.MinBadScore, p.MaxBadScore)
-			}
-			return New(page, p), nil
-		},
 	})
+}
+
+// buildSpec parses and validates bo's spec parameters and constructs the
+// prefetcher; the registered Validate hook delegates here (construction is
+// cheap), so a spec Normalize accepts is always constructible.
+func buildSpec(page mem.PageSize, v prefetch.Values) (prefetch.L2Prefetcher, error) {
+	p := DefaultParams()
+	var err error
+	p.RREntries = v.Int("rr", p.RREntries, &err)
+	p.RRTagBits = v.Uint("tagbits", p.RRTagBits, &err)
+	p.ScoreMax = v.Int("scoremax", p.ScoreMax, &err)
+	p.RoundMax = v.Int("roundmax", p.RoundMax, &err)
+	p.BadScore = v.Int("badscore", p.BadScore, &err)
+	p.Offsets = v.Ints("offsets", p.Offsets, &err)
+	p.Degree = v.Int("degree", 1, &err)
+	p.InsertRRAtIssue = v.Bool("rratissue", false, &err)
+	p.TriggerOnAllAccesses = v.Bool("allaccess", false, &err)
+	p.AdaptiveThrottle = v.Bool("adaptive", false, &err)
+	p.MinBadScore = v.Int("minbad", 0, &err)
+	p.MaxBadScore = v.Int("maxbad", 4, &err)
+	if err != nil {
+		return nil, err
+	}
+	if p.RREntries < 1 || p.RREntries&(p.RREntries-1) != 0 {
+		return nil, fmt.Errorf("rr=%d must be a positive power of two", p.RREntries)
+	}
+	if p.RRTagBits < 1 || p.RRTagBits > 16 {
+		return nil, fmt.Errorf("tagbits=%d must be in 1..16", p.RRTagBits)
+	}
+	if p.ScoreMax < 1 || p.RoundMax < 1 {
+		return nil, fmt.Errorf("scoremax=%d and roundmax=%d must be >= 1", p.ScoreMax, p.RoundMax)
+	}
+	if len(p.Offsets) == 0 {
+		return nil, fmt.Errorf("offsets must not be empty")
+	}
+	for _, d := range p.Offsets {
+		if d == 0 {
+			return nil, fmt.Errorf("offset 0 is meaningless")
+		}
+	}
+	if p.Degree < 1 || p.Degree > 2 {
+		return nil, fmt.Errorf("degree=%d must be 1 or 2", p.Degree)
+	}
+	if p.MinBadScore > p.MaxBadScore {
+		return nil, fmt.Errorf("minbad=%d above maxbad=%d", p.MinBadScore, p.MaxBadScore)
+	}
+	return New(page, p), nil
 }

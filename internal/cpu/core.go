@@ -58,15 +58,23 @@ type Core struct {
 	hier *uncore.Hierarchy
 	gen  trace.Generator
 
-	rob     []robEntry // ring buffer of cfg.ROBSize entries
+	// In-flight machinery below is deliberately absent from the checkpoint
+	// codec: SaveState refuses unless Quiesced() (ROB empty, nothing
+	// pending), so at every legal checkpoint these hold no information.
+	//bovet:allow statecodec ROB is empty at every legal checkpoint (SaveState requires Quiesced)
+	rob []robEntry // ring buffer of cfg.ROBSize entries
+	//bovet:allow statecodec ROB is empty at every legal checkpoint (SaveState requires Quiesced)
 	robHead int
 	robLen  int
+	//bovet:allow statecodec generation tags only order in-flight entries, of which a quiesced core has none
 	seq     uint64  // next generation tag
 	waiting []int32 // slots of dispatched loads not yet issued (dep or MSHR full)
-	paused  bool    // dispatch frozen (warmup-barrier drain)
+	//bovet:allow statecodec barrier bookkeeping; engine.Restore rebuilds the barrier from Options
+	paused bool // dispatch frozen (warmup-barrier drain)
 
 	lastLoadSlot int32 // most recent load, for DepPrevLoad chaining (-1: none)
-	lastLoadSeq  uint64
+	//bovet:allow statecodec chains dependencies onto in-flight loads, of which a quiesced core has none
+	lastLoadSeq uint64
 
 	pending    trace.Inst // fetched instruction that could not dispatch (MSHRs full)
 	hasPending bool
@@ -90,6 +98,8 @@ func New(id int, cfg Config, hier *uncore.Hierarchy, gen trace.Generator) *Core 
 
 // Cycle advances the core by one clock: retire, issue waiting loads, then
 // dispatch new instructions.
+//
+//bovet:hotpath
 func (c *Core) Cycle(now uint64) {
 	c.retire(now)
 	c.issueWaiting(now)

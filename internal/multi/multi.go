@@ -58,6 +58,7 @@ type Prefetcher struct {
 	enabled []bool
 	count   int // eligible accesses in the current window
 
+	//bovet:allow statecodec OnAccess scratch is valid only until the next call; never learned state
 	buf []mem.LineAddr // OnAccess scratch, reused across calls
 
 	stats Stats
@@ -120,6 +121,8 @@ func (p *Prefetcher) EnabledOffsets() []int {
 
 // OnAccess implements prefetch.L2Prefetcher: score every offset against the
 // recent-access table, record the access, and issue for the enabled set.
+//
+//bovet:hotpath
 func (p *Prefetcher) OnAccess(a prefetch.AccessInfo) []mem.LineAddr {
 	if !a.Eligible() {
 		return nil

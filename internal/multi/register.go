@@ -12,7 +12,9 @@ import (
 func init() {
 	def := DefaultParams()
 	prefetch.RegisterL2("multi", prefetch.Definition[prefetch.L2Prefetcher]{
-		Help: "multi-offset prefetcher with per-window accuracy gating",
+		Help:     "multi-offset prefetcher with per-window accuracy gating",
+		Build:    buildSpec,
+		Validate: func(v prefetch.Values) error { _, err := buildSpec(mem.Page4K, v); return err },
 		Defaults: map[string]string{
 			"offsets":  prefetch.FormatInts(def.Offsets),
 			"period":   fmt.Sprint(def.Period),
@@ -20,32 +22,36 @@ func init() {
 			"maxissue": fmt.Sprint(def.MaxIssue),
 			"recent":   fmt.Sprint(def.Recent),
 		},
-		Build: func(page mem.PageSize, v prefetch.Values) (prefetch.L2Prefetcher, error) {
-			p := DefaultParams()
-			var err error
-			p.Offsets = v.Ints("offsets", p.Offsets, &err)
-			p.Period = v.Int("period", p.Period, &err)
-			p.MinScore = v.Int("minscore", p.MinScore, &err)
-			p.MaxIssue = v.Int("maxissue", p.MaxIssue, &err)
-			p.Recent = v.Int("recent", p.Recent, &err)
-			if err != nil {
-				return nil, err
-			}
-			if len(p.Offsets) == 0 {
-				return nil, fmt.Errorf("offsets must not be empty")
-			}
-			for _, d := range p.Offsets {
-				if d == 0 {
-					return nil, fmt.Errorf("offset 0 is meaningless")
-				}
-			}
-			if p.Period < 1 || p.MaxIssue < 1 || p.Recent < 1 {
-				return nil, fmt.Errorf("period, maxissue and recent must be >= 1")
-			}
-			if p.MinScore < 0 {
-				return nil, fmt.Errorf("minscore=%d must be >= 0", p.MinScore)
-			}
-			return New(page, p), nil
-		},
 	})
+}
+
+// buildSpec parses and validates multi's spec parameters and constructs the
+// prefetcher; the registered Validate hook delegates here (construction is
+// cheap), so a spec Normalize accepts is always constructible.
+func buildSpec(page mem.PageSize, v prefetch.Values) (prefetch.L2Prefetcher, error) {
+	p := DefaultParams()
+	var err error
+	p.Offsets = v.Ints("offsets", p.Offsets, &err)
+	p.Period = v.Int("period", p.Period, &err)
+	p.MinScore = v.Int("minscore", p.MinScore, &err)
+	p.MaxIssue = v.Int("maxissue", p.MaxIssue, &err)
+	p.Recent = v.Int("recent", p.Recent, &err)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Offsets) == 0 {
+		return nil, fmt.Errorf("offsets must not be empty")
+	}
+	for _, d := range p.Offsets {
+		if d == 0 {
+			return nil, fmt.Errorf("offset 0 is meaningless")
+		}
+	}
+	if p.Period < 1 || p.MaxIssue < 1 || p.Recent < 1 {
+		return nil, fmt.Errorf("period, maxissue and recent must be >= 1")
+	}
+	if p.MinScore < 0 {
+		return nil, fmt.Errorf("minscore=%d must be >= 0", p.MinScore)
+	}
+	return New(page, p), nil
 }

@@ -72,6 +72,8 @@ type None struct{}
 func (None) Name() string { return "none" }
 
 // OnAccess implements L2Prefetcher.
+//
+//bovet:hotpath
 func (None) OnAccess(AccessInfo) []mem.LineAddr { return nil }
 
 // OnFill implements L2Prefetcher.
@@ -84,7 +86,8 @@ type FixedOffset struct {
 	page   mem.PageSize
 	offset uint64
 	name   string
-	buf    [1]mem.LineAddr // OnAccess scratch, avoids a per-access slice
+	//bovet:allow statecodec OnAccess scratch is valid only until the next call; never learned state
+	buf [1]mem.LineAddr // OnAccess scratch, avoids a per-access slice
 }
 
 // NewFixedOffset returns a fixed-offset prefetcher with offset d >= 1.
@@ -109,6 +112,8 @@ func (p *FixedOffset) Name() string { return p.name }
 func (p *FixedOffset) Offset() int { return int(p.offset) }
 
 // OnAccess implements L2Prefetcher.
+//
+//bovet:hotpath
 func (p *FixedOffset) OnAccess(a AccessInfo) []mem.LineAddr {
 	if !a.Eligible() {
 		return nil

@@ -10,39 +10,59 @@ import (
 // themselves here; the "none" spellings for both slots live here too.
 // Richer prefetchers (bo, sbp, multi, stride) register from their own
 // packages — see internal/prefetch/all for the link-time bundle.
+//
+// Every Definition spells out Defaults (the parameter schema; empty means
+// "accepts no parameters") and a Validate hook — construction is cheap
+// here, so Validate delegates to the same builder Normalize used to call.
+// The registryinit analyzer enforces this shape on all registrations.
 
 func init() {
 	RegisterL2("none", Definition[L2Prefetcher]{
-		Help: "no L2 prefetching (Figure 5's ablation)",
-		Build: func(mem.PageSize, Values) (L2Prefetcher, error) {
-			return None{}, nil
-		},
+		Help:     "no L2 prefetching (Figure 5's ablation)",
+		Defaults: map[string]string{},
+		Build:    buildNoneL2,
+		Validate: func(v Values) error { _, err := buildNoneL2(mem.Page4K, v); return err },
 	})
 	RegisterL2("nextline", Definition[L2Prefetcher]{
-		Help: "baseline next-line prefetcher (offset 1, section 5.6)",
-		Build: func(page mem.PageSize, _ Values) (L2Prefetcher, error) {
-			return NewNextLine(page), nil
-		},
+		Help:     "baseline next-line prefetcher (offset 1, section 5.6)",
+		Defaults: map[string]string{},
+		Build:    buildNextLine,
+		Validate: func(v Values) error { _, err := buildNextLine(mem.Page4K, v); return err },
 	})
 	RegisterL2("offset", Definition[L2Prefetcher]{
 		Help:     "fixed-offset prefetcher: X -> X+d (Figures 7 and 8)",
 		Defaults: map[string]string{"d": "1"},
-		Build: func(page mem.PageSize, v Values) (L2Prefetcher, error) {
-			var err error
-			d := v.Int("d", 1, &err)
-			if err != nil {
-				return nil, err
-			}
-			if d < 1 {
-				return nil, fmt.Errorf("offset d=%d must be >= 1", d)
-			}
-			return NewFixedOffset(page, d), nil
-		},
+		Build:    buildOffset,
+		Validate: func(v Values) error { _, err := buildOffset(mem.Page4K, v); return err },
 	})
 	RegisterL1("none", Definition[L1Prefetcher]{
-		Help: "no DL1 prefetching (Figure 4's ablation)",
-		Build: func(mem.PageSize, Values) (L1Prefetcher, error) {
-			return nil, nil
-		},
+		Help:     "no DL1 prefetching (Figure 4's ablation)",
+		Defaults: map[string]string{},
+		Build:    buildNoneL1,
+		Validate: func(v Values) error { _, err := buildNoneL1(mem.Page4K, v); return err },
 	})
+}
+
+func buildNoneL2(mem.PageSize, Values) (L2Prefetcher, error) {
+	return None{}, nil
+}
+
+func buildNextLine(page mem.PageSize, _ Values) (L2Prefetcher, error) {
+	return NewNextLine(page), nil
+}
+
+func buildOffset(page mem.PageSize, v Values) (L2Prefetcher, error) {
+	var err error
+	d := v.Int("d", 1, &err)
+	if err != nil {
+		return nil, err
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("offset d=%d must be >= 1", d)
+	}
+	return NewFixedOffset(page, d), nil
+}
+
+func buildNoneL1(mem.PageSize, Values) (L1Prefetcher, error) {
+	return nil, nil
 }

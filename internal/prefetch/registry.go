@@ -35,6 +35,13 @@ type Definition[T any] struct {
 	// semantically invalid combinations. A nil result with nil error means
 	// "explicitly no prefetcher" (the "none" registrations).
 	Build func(page mem.PageSize, v Values) (T, error)
+	// Validate, when non-nil, replaces the Build-based parameter check in
+	// Normalize (the trace registry's design, mirrored). In-tree prefetcher
+	// construction is cheap, so most registrations validate by delegating to
+	// their Build function; the hook exists so an expensive future
+	// prefetcher can keep normalization pure, and the registryinit analyzer
+	// requires every registration to declare it explicitly.
+	Validate func(v Values) error
 	// Help is a one-line description for -list-pf style output.
 	Help string
 }
@@ -110,7 +117,9 @@ func (r *registry[T]) lookup(spec Spec) (Definition[T], Spec, error) {
 		return Definition[T]{}, Spec{}, fmt.Errorf("prefetch: unknown prefetcher %q (registered: %s)",
 			spec.Name, strings.Join(r.names(), "|"))
 	}
-	for key := range spec.Params {
+	// Sorted iteration so the same bad spec always reports the same first
+	// unknown key, whatever the map's order.
+	for _, key := range sortedKeys(spec.Params) {
 		if _, known := def.Defaults[key]; !known {
 			return Definition[T]{}, Spec{}, fmt.Errorf("prefetch: %s has no parameter %q (accepted: %s)",
 				spec.Name, key, strings.Join(sortedKeys(def.Defaults), "|"))
@@ -137,9 +146,13 @@ func (r *registry[T]) normalize(spec Spec) (Spec, error) {
 	if err != nil {
 		return Spec{}, err
 	}
-	// Building validates the parameter values, so a normalized spec is
-	// always constructible; prefetcher construction is cheap by design.
-	if _, err := def.Build(mem.Page4K, Values(spec.Params)); err != nil {
+	if def.Validate != nil {
+		if err := def.Validate(Values(spec.Params)); err != nil {
+			return Spec{}, fmt.Errorf("prefetch: %s: %v", spec.Name, err)
+		}
+	} else if _, err := def.Build(mem.Page4K, Values(spec.Params)); err != nil {
+		// Building validates the parameter values, so a normalized spec is
+		// always constructible; prefetcher construction is cheap by design.
 		return Spec{}, fmt.Errorf("prefetch: %s: %v", spec.Name, err)
 	}
 	out := Spec{Name: spec.Name}

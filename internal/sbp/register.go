@@ -24,7 +24,9 @@ var _ prefetch.PreIssueTagChecker = (*Prefetcher)(nil)
 func init() {
 	def := DefaultParams()
 	prefetch.RegisterL2("sbp", prefetch.Definition[prefetch.L2Prefetcher]{
-		Help: "Sandbox prefetcher (Pugsley et al.) as adapted in section 6.3",
+		Help:     "Sandbox prefetcher (Pugsley et al.) as adapted in section 6.3",
+		Build:    buildSpec,
+		Validate: func(v prefetch.Values) error { _, err := buildSpec(mem.Page4K, v); return err },
 		Defaults: map[string]string{
 			"period":   fmt.Sprint(def.Period),
 			"bits":     fmt.Sprint(def.BloomBits),
@@ -35,31 +37,35 @@ func init() {
 			"cutoff3":  fmt.Sprint(def.Cutoff3),
 			"offsets":  prefetch.FormatInts(def.Offsets),
 		},
-		Build: func(page mem.PageSize, v prefetch.Values) (prefetch.L2Prefetcher, error) {
-			p := DefaultParams()
-			var err error
-			p.Period = v.Int("period", p.Period, &err)
-			bits := v.Int("bits", int(p.BloomBits), &err)
-			p.BloomHash = v.Int("hashes", p.BloomHash, &err)
-			p.MaxIssue = v.Int("maxissue", p.MaxIssue, &err)
-			p.Cutoff1 = v.Int("cutoff1", p.Cutoff1, &err)
-			p.Cutoff2 = v.Int("cutoff2", p.Cutoff2, &err)
-			p.Cutoff3 = v.Int("cutoff3", p.Cutoff3, &err)
-			p.Offsets = v.Ints("offsets", p.Offsets, &err)
-			if err != nil {
-				return nil, err
-			}
-			if bits < 1 || bits&(bits-1) != 0 {
-				return nil, fmt.Errorf("bits=%d must be a positive power of two", bits)
-			}
-			p.BloomBits = uint64(bits)
-			if p.Period < 1 || p.BloomHash < 1 || p.MaxIssue < 1 {
-				return nil, fmt.Errorf("period, hashes and maxissue must be >= 1")
-			}
-			if len(p.Offsets) == 0 {
-				return nil, fmt.Errorf("offsets must not be empty")
-			}
-			return New(page, p), nil
-		},
 	})
+}
+
+// buildSpec parses and validates sbp's spec parameters and constructs the
+// prefetcher; the registered Validate hook delegates here (construction is
+// cheap), so a spec Normalize accepts is always constructible.
+func buildSpec(page mem.PageSize, v prefetch.Values) (prefetch.L2Prefetcher, error) {
+	p := DefaultParams()
+	var err error
+	p.Period = v.Int("period", p.Period, &err)
+	bits := v.Int("bits", int(p.BloomBits), &err)
+	p.BloomHash = v.Int("hashes", p.BloomHash, &err)
+	p.MaxIssue = v.Int("maxissue", p.MaxIssue, &err)
+	p.Cutoff1 = v.Int("cutoff1", p.Cutoff1, &err)
+	p.Cutoff2 = v.Int("cutoff2", p.Cutoff2, &err)
+	p.Cutoff3 = v.Int("cutoff3", p.Cutoff3, &err)
+	p.Offsets = v.Ints("offsets", p.Offsets, &err)
+	if err != nil {
+		return nil, err
+	}
+	if bits < 1 || bits&(bits-1) != 0 {
+		return nil, fmt.Errorf("bits=%d must be a positive power of two", bits)
+	}
+	p.BloomBits = uint64(bits)
+	if p.Period < 1 || p.BloomHash < 1 || p.MaxIssue < 1 {
+		return nil, fmt.Errorf("period, hashes and maxissue must be >= 1")
+	}
+	if len(p.Offsets) == 0 {
+		return nil, fmt.Errorf("offsets must not be empty")
+	}
+	return New(page, p), nil
 }

@@ -79,6 +79,7 @@ type Prefetcher struct {
 
 	active []activeOffset
 
+	//bovet:allow statecodec OnAccess scratch is valid only until the next call; never learned state
 	buf []mem.LineAddr // issue scratch, reused across OnAccess calls
 
 	stats Stats
@@ -116,6 +117,8 @@ func (p *Prefetcher) ActiveOffsets() map[int]int {
 }
 
 // OnAccess implements prefetch.L2Prefetcher.
+//
+//bovet:hotpath
 func (p *Prefetcher) OnAccess(a prefetch.AccessInfo) []mem.LineAddr {
 	if !a.Eligible() {
 		return nil
@@ -177,6 +180,7 @@ func (p *Prefetcher) selectActive() {
 	}
 	// Highest-scoring offsets first so the per-access issue cap keeps the
 	// best candidates.
+	//bovet:allow hotalloc selectActive runs once per full candidate pass (~13k eligible accesses), off the steady-state path
 	sort.Slice(p.active, func(i, j int) bool { return p.active[i].score > p.active[j].score })
 }
 

@@ -14,20 +14,26 @@ var _ prefetch.L1Prefetcher = (*Prefetcher)(nil)
 // ("stride:dist=8"); the table geometry is architectural and fixed.
 func init() {
 	prefetch.RegisterL1("stride", prefetch.Definition[prefetch.L1Prefetcher]{
-		Help: "DL1 stride prefetcher, PC-indexed, TLB2-gated (section 5.5)",
+		Help:     "DL1 stride prefetcher, PC-indexed, TLB2-gated (section 5.5)",
+		Build:    buildSpec,
+		Validate: func(v prefetch.Values) error { _, err := buildSpec(mem.Page4K, v); return err },
 		Defaults: map[string]string{
 			"dist": fmt.Sprint(DistanceFactor),
 		},
-		Build: func(_ mem.PageSize, v prefetch.Values) (prefetch.L1Prefetcher, error) {
-			var err error
-			dist := v.Int("dist", DistanceFactor, &err)
-			if err != nil {
-				return nil, err
-			}
-			if dist < 1 {
-				return nil, fmt.Errorf("dist=%d must be >= 1", dist)
-			}
-			return NewWithDistance(dist), nil
-		},
 	})
+}
+
+// buildSpec parses and validates stride's spec parameters and constructs
+// the prefetcher; the registered Validate hook delegates here (construction
+// is cheap), so a spec Normalize accepts is always constructible.
+func buildSpec(_ mem.PageSize, v prefetch.Values) (prefetch.L1Prefetcher, error) {
+	var err error
+	dist := v.Int("dist", DistanceFactor, &err)
+	if err != nil {
+		return nil, err
+	}
+	if dist < 1 {
+		return nil, fmt.Errorf("dist=%d must be >= 1", dist)
+	}
+	return NewWithDistance(dist), nil
 }

@@ -98,6 +98,8 @@ func (p *Prefetcher) victim() *entry {
 //
 // The caller must only invoke Query for DL1 misses and prefetched hits, and
 // must drop the returned address if its page misses in the TLB2.
+//
+//bovet:hotpath
 func (p *Prefetcher) Query(pc uint64, va mem.Addr) (prefVA mem.Addr, ok bool) {
 	e := p.lookup(pc)
 	if e == nil {
@@ -125,6 +127,8 @@ func (p *Prefetcher) Query(pc uint64, va mem.Addr) (prefVA mem.Addr, ok bool) {
 // Update records the retirement of a load/store at pc with address va:
 // confidence is incremented when the stride repeats, reset otherwise, and
 // the stride/lastAddr are always updated (section 5.5).
+//
+//bovet:hotpath
 func (p *Prefetcher) Update(pc uint64, va mem.Addr) {
 	p.clock++
 	e := p.lookup(pc)

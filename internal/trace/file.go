@@ -202,6 +202,8 @@ func (t *FileTrace) Len() int { return t.count }
 
 // Next implements Generator, decoding the record at the cursor and wrapping
 // at the end of the recording.
+//
+//bovet:hotpath
 func (t *FileTrace) Next() Inst {
 	rec := t.recs[t.idx*recordSize : t.idx*recordSize+recordSize]
 	inst := Inst{

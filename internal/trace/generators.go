@@ -235,6 +235,8 @@ type mixGen struct {
 func (m *mixGen) Name() string { return "mix" }
 
 // Next implements Generator.
+//
+//bovet:hotpath
 func (m *mixGen) Next() Inst {
 	pick := m.rand.Intn(m.weightSum)
 	for i, w := range m.weights {

@@ -222,7 +222,14 @@ func lookupGen(spec Spec) (Definition, Spec, error) {
 		return Definition{}, Spec{}, fmt.Errorf("trace: unknown workload %q (registered: %s)",
 			spec.Name, strings.Join(Names(), "|"))
 	}
-	for key := range spec.Params {
+	// Sorted iteration so the same bad spec always reports the same first
+	// unknown key, whatever the map's order.
+	paramKeys := make([]string, 0, len(spec.Params))
+	for k := range spec.Params {
+		paramKeys = append(paramKeys, k)
+	}
+	sort.Strings(paramKeys)
+	for _, key := range paramKeys {
 		if _, known := def.Defaults[key]; !known {
 			keys := make([]string, 0, len(def.Defaults))
 			for k := range def.Defaults {

@@ -28,6 +28,8 @@ type weightedComp struct {
 func (w *Workload) Name() string { return w.name }
 
 // Next implements Generator.
+//
+//bovet:hotpath
 func (w *Workload) Next() Inst {
 	if w.rand.Intn(1000) < w.memPer1000 {
 		pick := w.rand.Intn(w.weightSum)

@@ -73,6 +73,7 @@ func (p *entryPool) get() *fillEntry {
 		p.free = p.free[:n-1]
 		return e
 	}
+	//bovet:allow hotalloc pool miss is the warmup path; steady state reuses entries from the free list
 	return &fillEntry{}
 }
 
@@ -138,6 +139,7 @@ func (q *fillQueue) len() int   { return len(q.entries) }
 // push appends e; the caller must have checked full().
 func (q *fillQueue) push(e *fillEntry) {
 	if q.full() {
+		//bovet:allow hotalloc unreachable guard: callers check full() first, and a constant panic argument is static data
 		panic("uncore: fill queue overflow")
 	}
 	q.entries = append(q.entries, e)

@@ -89,11 +89,16 @@ type Hierarchy struct {
 	l3    *cache.Cache
 	fivep *cache.FiveP // non-nil when L3Policy is 5P
 	tlbs  []*tlb.Hierarchy
-	l1pf  []prefetch.L1Prefetcher // nil entries: no DL1 prefetching
-	l2pf  []prefetch.L2Prefetcher
+	// Prefetcher state is serialized separately through prefetch.StateCodec
+	// (only under WarmupPF); SetPrefetchers installs them on restore.
+	//bovet:allow statecodec prefetchers checkpoint via prefetch.StateCodec, not the hierarchy snapshot
+	l1pf []prefetch.L1Prefetcher // nil entries: no DL1 prefetching
+	//bovet:allow statecodec prefetchers checkpoint via prefetch.StateCodec, not the hierarchy snapshot
+	l2pf []prefetch.L2Prefetcher
 	// preIssueTagCheck enables the extra L2 tag lookup before issuing a
 	// prefetch, which the paper adds for SBP-style degree-N requests
 	// (section 6.3); prefetchers opt in via prefetch.PreIssueTagChecker.
+	//bovet:allow statecodec derived wiring: SetPrefetchers recomputes it from the installed prefetchers
 	preIssueTagCheck []bool
 
 	mem *dram.Memory
@@ -111,6 +116,7 @@ type Hierarchy struct {
 	// futEpoch counts DRAM bus-cycle ticks: the only moments at which the
 	// controller can resolve futures. Fill queues use it to rescan their
 	// entries at most once per bus tick (see fillQueue.sync).
+	//bovet:allow statecodec rescan memo, not architectural state: SaveState requires Drained (no futures in flight)
 	futEpoch uint64
 	busRatio uint64
 
@@ -308,6 +314,8 @@ func (h *Hierarchy) strideQuery(core int, pc uint64, va mem.Addr, t0 uint64) {
 // Tick advances the uncore by one cycle: drain ready fills top-down, then
 // process core requests at the L2s, then let queued L2 prefetches access
 // the L3 (lowest priority), then retry blocked writebacks, then tick DRAM.
+//
+//bovet:hotpath
 func (h *Hierarchy) Tick(now uint64) {
 	h.stats.TickSamples++
 	h.stats.L2FQOccupancySum += uint64(h.l2fq[0].len())
