@@ -1,0 +1,95 @@
+// Command bofleetd is the long-lived experiment coordinator: it owns a
+// journaled sweep queue (internal/fleet) and a worker pool
+// (internal/distrib) and serves the fleet HTTP API. Sweeps submitted via
+// `experiments -submit URL` (or raw POST /v1/sweeps) are executed one at
+// a time — priorities first, fair-share round-robin across submitters —
+// on whatever workers have registered, with dead workers re-probed and
+// revived, and missing trace/checkpoint artifacts pushed to workers that
+// need them. Because every result lands in the persistent cache and the
+// journal records every accepted sweep, the daemon (and any worker) can
+// be killed and restarted at any point without losing work or changing a
+// single output byte.
+//
+// Usage:
+//
+//	bofleetd -listen :9200 -state /var/lib/bofleet
+//	bofleetd -listen :9200 -state .bofleet -artifacts /data/traces -v
+//	boworkerd -listen :9123 -announce http://coordinator:9200
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bopsim/internal/distrib"
+	"bopsim/internal/fleet"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":9200", "address to serve the coordinator API on")
+		stateDir  = flag.String("state", ".bofleet", "state directory (sweep journal; default result cache)")
+		cacheDir  = flag.String("cache", "", "persistent result cache directory (default: <state>/cache; sharable with `experiments -cache`)")
+		artifacts = flag.String("artifacts", "", "comma-separated directories holding traces/checkpoints for seeding workers that lack them")
+		probe     = flag.Duration("probe", 2*time.Second, "dead-worker re-probe interval")
+		verbose   = flag.Bool("v", false, "log sweeps, worker joins and revivals")
+	)
+	flag.Parse()
+
+	var dirs []string
+	for _, d := range strings.Split(*artifacts, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dirs = append(dirs, d)
+		}
+	}
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	svc, err := fleet.Open(fleet.Config{
+		Dir:          *stateDir,
+		CacheDir:     *cacheDir,
+		ArtifactDirs: dirs,
+		Retry:        distrib.RetryPolicy{ProbeInterval: *probe},
+		Log:          logw,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bofleetd: %v\n", err)
+		os.Exit(1)
+	}
+	svc.Start()
+
+	srv := &http.Server{Addr: *listen, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		<-ctx.Done()
+		// The API goes down immediately; an executing sweep is deliberately
+		// NOT waited for — it has no completion record yet, so the journal
+		// requeues it on the next start and the result cache makes the
+		// re-run cheap. Crash and shutdown share one recovery path.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		svc.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "bofleetd: listening on %s (state %s)\n", *listen, *stateDir)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "bofleetd: %v\n", err)
+		os.Exit(1)
+	}
+	stop()
+	<-closed
+}

@@ -31,6 +31,7 @@ import (
 
 	"bopsim/internal/distrib"
 	"bopsim/internal/experiments"
+	"bopsim/internal/fleet"
 	"bopsim/internal/plot"
 	"bopsim/internal/profiling"
 	"bopsim/internal/stats"
@@ -55,6 +56,9 @@ func main() {
 		cacheMaxMB = flag.Int64("cache-max-mb", 0, "evict oldest cache entries past this size budget after the run (0: unbounded)")
 		workersCS  = flag.String("workers", "", "comma-separated boworkerd addresses (host:port,...) to execute simulations on instead of this process")
 		statusAddr = flag.String("status", "", "serve scheduler progress as JSON on this address (e.g. :8090) for long sweeps")
+		submitURL  = flag.String("submit", "", "submit the selected targets to a bofleetd coordinator at this URL and tail them (execution-side flags -j/-cache/-workers are the coordinator's business then)")
+		submitAs   = flag.String("as", "", "submitter identity for -submit (fair-share tenant; default: $USER or anon)")
+		priority   = flag.Int("priority", 0, "queue priority for -submit (higher runs first)")
 
 		table1 = flag.Bool("table1", false, "print Table 1 (baseline microarchitecture)")
 		table2 = flag.Bool("table2", false, "print Table 2 (BO parameters)")
@@ -78,6 +82,55 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopProfiles()
+
+	// selected reports whether a renderable target was asked for; the
+	// dispatch below walks experiments.TargetNames() (canonical output
+	// order) through it, so local and submitted runs enumerate targets
+	// identically.
+	selected := func(name string) bool {
+		switch name {
+		case "table1":
+			return *all || *table1
+		case "table2":
+			return *all || *table2
+		case "zoo":
+			return *all || *zoo
+		case "wzoo":
+			// Deliberately not part of -all: the legacy -all output stays
+			// byte-identical to the pre-spec table set.
+			return *wzoo
+		default:
+			var i int
+			fmt.Sscanf(name, "fig%d", &i)
+			return i >= 2 && i <= 13 && (*all || *fig[i])
+		}
+	}
+
+	if *submitURL != "" {
+		var targets []string
+		for _, name := range experiments.TargetNames() {
+			if selected(name) {
+				targets = append(targets, name)
+			}
+		}
+		if len(targets) == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		req := fleet.SweepRequest{
+			Quick:        *quick,
+			Instructions: *n,
+			Warmup:       *warmup,
+			Submitter:    submitter(*submitAs),
+			Priority:     *priority,
+		}
+		if *wlCS != "" {
+			req.Workloads = splitList(*wlCS, ";")
+		} else if *benchCS != "" {
+			req.Workloads = splitList(*benchCS, ",")
+		}
+		os.Exit(submitAndTail(*submitURL, targets, req))
+	}
 
 	if *cacheDir != "" {
 		// Rewrite any enum-era (v1) entries to the spec-based schema before
@@ -145,7 +198,7 @@ func main() {
 	} else if *quick {
 		// Quick mode also trims the workload list to the memory-active
 		// benchmarks plus a few compute-bound representatives.
-		r.Benchmarks = quickBenchmarks()
+		r.Benchmarks = experiments.QuickBenchmarks()
 	}
 	if *verbose {
 		r.Log = os.Stderr
@@ -173,11 +226,11 @@ func main() {
 		}
 	}
 
-	any := *table1 || *table2 || *zoo || *wzoo
-	for i := 2; i <= 13; i++ {
-		any = any || *fig[i]
+	any := false
+	for _, name := range experiments.TargetNames() {
+		any = any || selected(name)
 	}
-	if !any && !*all {
+	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -226,64 +279,28 @@ func main() {
 			}
 		}
 	}
-	if *all || *table1 {
-		fmt.Print(experiments.Table1())
-		fmt.Println()
-	}
-	if *all || *table2 {
-		fmt.Print(experiments.Table2())
-		fmt.Println()
-	}
-	if *all || *fig[2] {
-		show("fig2", r.Fig2())
-	}
-	if *all || *fig[3] {
-		show("fig3", r.Fig3()...)
-	}
-	if *all || *fig[4] {
-		show("fig4", r.Fig4())
-	}
-	if *all || *fig[5] {
-		show("fig5", r.Fig5())
-	}
-	if *all || *fig[6] {
-		show("fig6", r.Fig6())
-	}
-	if *all || *fig[7] {
-		show("fig7", r.Fig7())
-	}
-	if *all || *fig[8] {
-		offsets := experiments.Fig8Offsets()
-		if *quick {
-			offsets = nil
-			for d := 2; d <= 256; d += 6 {
-				offsets = append(offsets, d)
-			}
+	// One dispatch for every target, shared with the fleet service
+	// (experiments.TargetTables): a sweep submitted to bofleetd renders
+	// through the same calls, so its bytes match this path by
+	// construction.
+	for _, name := range experiments.TargetNames() {
+		if !selected(name) {
+			continue
 		}
-		show("fig8", r.Fig8(offsets))
-	}
-	if *all || *fig[9] {
-		show("fig9", r.Fig9())
-	}
-	if *all || *fig[10] {
-		show("fig10", r.Fig10())
-	}
-	if *all || *fig[11] {
-		show("fig11", r.Fig11())
-	}
-	if *all || *fig[12] {
-		show("fig12", r.Fig12())
-	}
-	if *all || *fig[13] {
-		show("fig13", r.Fig13())
-	}
-	if *all || *zoo {
-		show("zoo", r.Zoo())
-	}
-	// Deliberately not part of -all: the legacy -all output stays
-	// byte-identical to the pre-spec table set.
-	if *wzoo {
-		show("wzoo", r.WorkloadZoo())
+		switch name {
+		case "table1":
+			fmt.Print(experiments.Table1())
+			fmt.Println()
+		case "table2":
+			fmt.Print(experiments.Table2())
+			fmt.Println()
+		default:
+			tables, err := experiments.TargetTables(r, name, *quick)
+			if err != nil {
+				fatalf("experiments: %v\n", err)
+			}
+			show(name, tables...)
+		}
 	}
 	if *cacheDir != "" && *cacheMaxMB > 0 {
 		removed, freed, err := experiments.EvictCache(*cacheDir, *cacheMaxMB<<20)
@@ -322,25 +339,4 @@ func writeJSON(path string, tables []*stats.Table) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
-}
-
-// quickBenchmarks is the subset used by -quick: every benchmark the paper's
-// figures single out, plus compute-bound representatives so the GM stays
-// meaningful.
-func quickBenchmarks() []trace.Spec {
-	want := map[string]bool{
-		"403.gcc": true, "410.bwaves": true, "416.gamess": true,
-		"429.mcf": true, "433.milc": true, "437.leslie3d": true,
-		"450.soplex": true, "456.hmmer": true, "459.GemsFDTD": true,
-		"462.libquantum": true, "465.tonto": true, "470.lbm": true,
-		"471.omnetpp": true, "473.astar": true, "482.sphinx3": true,
-		"483.xalancbmk": true,
-	}
-	var out []trace.Spec
-	for _, b := range trace.Benchmarks() {
-		if want[b] {
-			out = append(out, trace.Spec{Name: b})
-		}
-	}
-	return out
 }

@@ -217,7 +217,7 @@ func TestServerRejectsBadPayloads(t *testing.T) {
 
 	o := sim.DefaultOptions("416.gamess")
 	o.Instructions = 1000
-	good, err := makeJob(o)
+	good, err := NewPool(RetryPolicy{}).makeJob(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestServerRejectsBadPayloads(t *testing.T) {
 	}
 
 	// A bad simulation (unknown benchmark) is a deterministic job error.
-	bad, err := makeJob(sim.Options{Workloads: []trace.Spec{{Name: "no-such-benchmark"}}, Cores: 1, Page: mem.Page4K, Instructions: 1000})
+	bad, err := NewPool(RetryPolicy{}).makeJob(sim.Options{Workloads: []trace.Spec{{Name: "no-such-benchmark"}}, Cores: 1, Page: mem.Page4K, Instructions: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}

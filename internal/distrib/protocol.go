@@ -37,13 +37,25 @@ import (
 // of the Workload/TracePath pair; trace replays travel as "file" specs in
 // hash form ("file:sha=HEX", resolved against the worker's trace
 // directories), so the Job-level TraceSHA field is gone.
-const ProtocolVersion = 3
+//
+// v4: workers accept artifact uploads (PUT /v1/artifacts/{sha}), so a
+// coordinator holding a trace or checkpoint can seed a worker that 412s
+// instead of excluding it; the 412 ErrorBody names the missing hash in
+// the structured SHA field; /healthz and /v1/run answer 503 with the
+// "draining" code while the worker drains for a graceful shutdown.
+const ProtocolVersion = 4
 
 // MaxJobBytes bounds a /v1/run request body. A legitimate job is a few
 // hundred bytes of JSON (options are value types; traces travel by hash),
 // so anything near the megabyte is malformed or hostile and is rejected with
 // 413 before being parsed.
 const MaxJobBytes = 1 << 20
+
+// MaxArtifactBytes bounds a PUT /v1/artifacts/{sha} body: recorded traces
+// and warmup snapshots are tens of MB at most, so a 1 GiB cap leaves
+// generous headroom while keeping a hostile upload from filling the
+// worker's disk.
+const MaxArtifactBytes = 1 << 30
 
 // Job is the /v1/run request payload: one simulation for the worker to
 // execute.
@@ -103,10 +115,27 @@ const (
 	// CodeSimFailed: the simulation itself returned an error (HTTP 422);
 	// deterministic, so never retried.
 	CodeSimFailed = "sim_failed"
+	// CodeDraining: the worker is draining for a graceful shutdown and
+	// accepts no new jobs (HTTP 503); the coordinator treats it like a
+	// lost worker (requeue elsewhere) and revival re-probing brings the
+	// restarted daemon back.
+	CodeDraining = "draining"
+	// CodeArtifactMismatch: an uploaded artifact's bytes do not hash to
+	// the sha named in the PUT /v1/artifacts/{sha} path (HTTP 422).
+	CodeArtifactMismatch = "artifact_mismatch"
+	// CodeNoArtifactDir: the worker has no writable artifact directory to
+	// accept uploads into (HTTP 403) — it was started without -trace-dir
+	// or -checkpoint-dir and seeding is not possible.
+	CodeNoArtifactDir = "no_artifact_dir"
 )
 
 // ErrorBody is every non-200 response's JSON payload.
 type ErrorBody struct {
 	Code  string `json:"code"`
 	Error string `json:"error"`
+	// SHA, set on trace_unavailable (412) responses, is the content hash
+	// the worker could not resolve — the structured field the
+	// coordinator's artifact seeding reads (the hash also appears in
+	// Error, but prose is not an interface).
+	SHA string `json:"sha,omitempty"`
 }

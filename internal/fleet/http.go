@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"bopsim/internal/distrib"
+	"bopsim/internal/experiments"
+)
+
+// maxRequestBytes bounds every request body the service parses. A sweep
+// request is a few hundred bytes; a megabyte leaves room for a very long
+// workload list while keeping hostile payloads cheap to refuse.
+const maxRequestBytes = 1 << 20
+
+// SweepStatus is the GET /v1/sweeps/{id} response (and the queue entries
+// of GET /v1/status).
+type SweepStatus struct {
+	ID    int          `json:"id"`
+	Req   SweepRequest `json:"request"`
+	State string       `json:"state"`
+	// Position is the sweep's 1-based place in the pending queue (the
+	// order claimNext would grant with no further submissions), 0 unless
+	// pending.
+	Position int `json:"position,omitempty"`
+	// Progress is the live scheduler snapshot while running.
+	Progress *experiments.ProgressStatus `json:"progress,omitempty"`
+	// Output is the rendered table text once done — byte-identical to the
+	// same target run locally by cmd/experiments.
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// FleetStatus is the GET /v1/status response: the fleet-wide live view.
+type FleetStatus struct {
+	Workers []distrib.WorkerState `json:"workers"`
+	// Slots is the pool's current execution slot count.
+	Slots int `json:"slots"`
+	// Running is the executing sweep's status (nil when idle), with the
+	// Runner's live progress embedded.
+	Running *SweepStatus `json:"running,omitempty"`
+	// Queue lists pending sweeps in grant order.
+	Queue []SweepStatus `json:"queue"`
+	// Counts by state over the journal's whole history.
+	Pending int `json:"pending"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+}
+
+// Handler returns the coordinator's HTTP API:
+//
+//	GET  /healthz         liveness probe
+//	POST /v1/sweeps       submit a SweepRequest, respond {"id": N}
+//	GET  /v1/sweeps/{id}  one sweep's status/output (SweepStatus)
+//	GET  /v1/status       fleet-wide live view (FleetStatus)
+//	POST /v1/workers      register a worker: {"addr": "host:port"}
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/workers", s.handleWorker)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.Submit(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad sweep id %q", r.PathValue("id")))
+		return
+	}
+	st, ok := s.sweepStatus(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no sweep %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (s *Service) handleWorker(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Addr string `json:"addr"`
+	}
+	if err := decodeJSON(w, r, &body); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	pooled, err := s.RegisterWorker(body.Addr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"pooled": pooled})
+}
+
+// sweepStatus snapshots one sweep, attaching live progress when it is
+// the one running.
+func (s *Service) sweepStatus(id int) (SweepStatus, bool) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		s.mu.Unlock()
+		return SweepStatus{}, false
+	}
+	st := SweepStatus{ID: sw.id, Req: sw.req, State: sw.state, Output: sw.output, Error: sw.errMsg}
+	if sw.state == StatePending {
+		st.Position = s.positionLocked(id)
+	}
+	runner := s.runner
+	runningThis := s.running == id && runner != nil
+	s.mu.Unlock()
+	if runningThis {
+		p := runner.Status()
+		st.Progress = &p
+	}
+	return st, true
+}
+
+// positionLocked computes a pending sweep's 1-based grant position by
+// simulating the fair-share policy over the current queue. Callers hold
+// s.mu.
+func (s *Service) positionLocked(id int) int {
+	granted := make(map[int]bool)
+	rrLast := s.rrLast
+	for pos := 1; ; pos++ {
+		next := s.peekNextLocked(granted, &rrLast)
+		if next == 0 {
+			return 0 // unreachable while id is pending
+		}
+		if next == id {
+			return pos
+		}
+		granted[next] = true
+	}
+}
+
+// peekNextLocked is claimNext's selection rule without the state
+// mutation: pending sweeps minus `granted`, strict priority, fair-share
+// round-robin via *rrLast (advanced), submission order within submitter.
+func (s *Service) peekNextLocked(granted map[int]bool, rrLast *string) int {
+	best := 0
+	first := true
+	for _, sid := range s.order {
+		sw := s.sweeps[sid]
+		if sw.state != StatePending || granted[sid] {
+			continue
+		}
+		if first || sw.req.Priority > best {
+			best = sw.req.Priority
+			first = false
+		}
+	}
+	if first {
+		return 0
+	}
+	bySub := make(map[string]int)
+	var subs []string
+	for _, sid := range s.order {
+		sw := s.sweeps[sid]
+		if sw.state != StatePending || granted[sid] || sw.req.Priority != best {
+			continue
+		}
+		if _, ok := bySub[sw.req.Submitter]; !ok {
+			bySub[sw.req.Submitter] = sid
+			subs = append(subs, sw.req.Submitter)
+		}
+	}
+	sort.Strings(subs)
+	grant := subs[0]
+	for _, sub := range subs {
+		if sub > *rrLast {
+			grant = sub
+			break
+		}
+	}
+	*rrLast = grant
+	return bySub[grant]
+}
+
+// Status builds the fleet-wide view.
+func (s *Service) Status() FleetStatus {
+	st := FleetStatus{
+		Workers: s.pool.WorkerStates(),
+		Slots:   s.pool.Slots(),
+	}
+	s.mu.Lock()
+	runningID := s.running
+	type pendingEntry struct{ id, pos int }
+	var pending []pendingEntry
+	for _, id := range s.order {
+		switch s.sweeps[id].state {
+		case StatePending:
+			st.Pending++
+			pending = append(pending, pendingEntry{id, s.positionLocked(id)})
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		}
+	}
+	s.mu.Unlock()
+	if runningID != 0 {
+		if sw, ok := s.sweepStatus(runningID); ok {
+			st.Running = &sw
+		}
+	}
+	// Queue in grant order, output omitted (pending sweeps have none).
+	for i := 1; i <= len(pending); i++ {
+		for _, p := range pending {
+			if p.pos == i {
+				if sw, ok := s.sweepStatus(p.id); ok {
+					st.Queue = append(st.Queue, sw)
+				}
+			}
+		}
+	}
+	return st
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", maxRequestBytes)
+		}
+		return fmt.Errorf("decoding request: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The journal is the service's only durable state: one JSON record per
+// line, append-only, fsynced per record (submissions and completions are
+// rare events, so durability costs nothing measurable). Replay
+// reconstructs the queue exactly:
+//
+//	{"op":"sweep","id":N,"req":{...}}        sweep N accepted
+//	{"op":"done","id":N,"state":"done",...}  sweep N finished (output inline)
+//	{"op":"worker","addr":"host:port"}       worker registered
+//
+// A sweep with no "done" record is pending — including one that was
+// executing when the coordinator died, which is exactly the requeue
+// semantics crash recovery needs. Unparseable trailing bytes (a torn
+// final write) are tolerated; unparseable interior lines are not, since
+// silently dropping an accepted sweep would be data loss.
+
+const journalName = "journal.jsonl"
+
+// Journal ops.
+const (
+	opSweep  = "sweep"
+	opDone   = "done"
+	opWorker = "worker"
+)
+
+// record is one journal line.
+type record struct {
+	Op  string        `json:"op"`
+	ID  int           `json:"id,omitempty"`
+	Req *SweepRequest `json:"req,omitempty"`
+	// Completion fields (op=done).
+	State  string `json:"state,omitempty"`
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Registration fields (op=worker).
+	Addr string `json:"addr,omitempty"`
+}
+
+// openJournal replays an existing journal into the Service's maps and
+// opens it for appending. Called once from Open, before the loop starts,
+// so no locking is needed.
+func (s *Service) openJournal() error {
+	path := filepath.Join(s.cfg.Dir, journalName)
+	if f, err := os.Open(path); err == nil {
+		err := s.replay(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("fleet: %v", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: %v", err)
+	}
+	s.journal = f
+	return nil
+}
+
+func (s *Service) replay(f *os.File) error {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20) // done records carry full table output
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn final line (crash mid-append) loses at most the record
+			// being written, which its caller never saw acknowledged. Torn
+			// interior lines mean real corruption: refuse to guess.
+			if sc.Scan() {
+				return fmt.Errorf("fleet: journal %s line %d corrupt: %v", f.Name(), line, err)
+			}
+			s.logf("journal: dropping torn final line %d\n", line)
+			break
+		}
+		switch rec.Op {
+		case opSweep:
+			if rec.Req == nil || rec.ID <= 0 {
+				return fmt.Errorf("fleet: journal %s line %d: sweep record without id/req", f.Name(), line)
+			}
+			req := *rec.Req
+			if err := req.validate(); err != nil {
+				return fmt.Errorf("fleet: journal %s line %d: %v", f.Name(), line, err)
+			}
+			s.sweeps[rec.ID] = &sweep{id: rec.ID, req: req, state: StatePending}
+			s.order = append(s.order, rec.ID)
+			if rec.ID >= s.nextID {
+				s.nextID = rec.ID + 1
+			}
+		case opDone:
+			sw, ok := s.sweeps[rec.ID]
+			if !ok {
+				return fmt.Errorf("fleet: journal %s line %d: completion for unknown sweep %d", f.Name(), line, rec.ID)
+			}
+			sw.state = rec.State
+			sw.output = rec.Output
+			sw.errMsg = rec.Error
+		case opWorker:
+			if addr := normalizeAddr(rec.Addr); addr != "" {
+				s.announced[addr] = true
+			}
+		default:
+			return fmt.Errorf("fleet: journal %s line %d: unknown op %q", f.Name(), line, rec.Op)
+		}
+	}
+	return sc.Err()
+}
+
+// appendLocked journals one record durably (write + fsync). Callers hold
+// s.mu; an error means the record is NOT durable and the caller must not
+// act as if it were.
+func (s *Service) appendLocked(rec record) error {
+	if s.journal == nil {
+		return fmt.Errorf("fleet: journal closed")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: %v", err)
+	}
+	if _, err := s.journal.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("fleet: journal write: %v", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("fleet: journal sync: %v", err)
+	}
+	return nil
+}

@@ -220,10 +220,12 @@ func checkWeights(weights []int, slots int, what string) error {
 // a sub-generator with probability weight/sum and forwards its instruction.
 // Sub-generators keep their own ALU/memory mixes and address regions. The
 // micro-pattern generators all place components at fixed bases
-// (regionBase(0)), so mixed sub-generators — same-name or not — generally
-// share a region: mix models contention on one working set, not disjoint
-// programs (documented in DESIGN.md section 5; per-region offsets are a
-// ROADMAP item).
+// (regionBase(0)), so by default mixed sub-generators — same-name or not —
+// generally share a region: mix models contention on one working set. The
+// region= parameter opts out per slot: a sub-generator with a non-zero
+// region index is shifted into its own disjoint address range (see
+// regionGen), turning the same mix into a model of co-running programs —
+// the interference-matrix building block (DESIGN.md section 5).
 type mixGen struct {
 	rand      *rng.Stream
 	subs      []StatefulGenerator
@@ -274,6 +276,46 @@ func (m *mixGen) RestoreGenState(st GenState) error {
 	return nil
 }
 
+// regionSpan is the address-space stride of mix's region= parameter: 1TB,
+// far above any component span the generators can produce (regionBase
+// places components 1GB apart starting at 1<<36, and footprints are capped
+// at 1GB), so distinct region indices can never collide.
+const regionSpan = mem.Addr(1) << 40
+
+// maxRegion bounds region indices. 255 regions of 1TB stay far inside the
+// 64-bit address space while allowing any plausible co-run matrix.
+const maxRegion = 255
+
+// regionGen shifts every memory access of a sub-generator by a fixed
+// region offset — the building block behind mix's region= parameter. The
+// offset is spec-derived configuration, not state: checkpoint save and
+// restore pass straight through to the wrapped generator, and a restored
+// mix rebuilds the same offsets from its spec.
+type regionGen struct {
+	sub    StatefulGenerator
+	offset mem.Addr
+}
+
+// Name implements Generator.
+func (g *regionGen) Name() string { return g.sub.Name() }
+
+// Next implements Generator.
+//
+//bovet:hotpath
+func (g *regionGen) Next() Inst {
+	inst := g.sub.Next()
+	if inst.Op != OpALU {
+		inst.VA += g.offset
+	}
+	return inst
+}
+
+// SaveGenState implements StatefulGenerator.
+func (g *regionGen) SaveGenState() GenState { return g.sub.SaveGenState() }
+
+// RestoreGenState implements StatefulGenerator.
+func (g *regionGen) RestoreGenState(st GenState) error { return g.sub.RestoreGenState(st) }
+
 // defMixGens is mix's default interleave, shared between the registered
 // Defaults map and Build's fallback: if the two drifted, Normalize would
 // drop one spelling as "the default" while Build constructed the other.
@@ -285,29 +327,38 @@ func registerMix() {
 			"seed": "0",
 			// gens is a '+'-separated list of registered generator names,
 			// each built with its default parameters and a per-slot derived
-			// seed; weights (default all 1) sets the interleave ratio.
+			// seed; weights (default all 1) sets the interleave ratio;
+			// region (default all 0) gives each slot an address-region
+			// index — slots sharing an index share a working set, distinct
+			// indices are disjoint 1TB-spaced regions (co-running programs).
 			"gens":    defMixGens,
 			"weights": "",
+			"region":  "",
 		},
-		IntKeys: []string{"seed", "weights"},
+		IntKeys: []string{"seed", "weights", "region"},
 		CanonicalizeParams: func(params map[string]string) {
 			// An all-ones weights list is the implicit default for any gens
 			// (validation already pinned its length): drop it so
 			// "mix:weights=1+1" and "mix" share one canonical form and one
-			// cache key.
-			raw, ok := params["weights"]
-			if !ok {
-				return
-			}
-			for _, part := range strings.Split(raw, "+") {
-				if part != "1" {
+			// cache key. An all-zero region list is the same kind of
+			// implicit default.
+			allEqual := func(key, def string) {
+				raw, ok := params[key]
+				if !ok {
 					return
 				}
+				for _, part := range strings.Split(raw, "+") {
+					if part != def {
+						return
+					}
+				}
+				delete(params, key)
 			}
-			delete(params, "weights")
+			allEqual("weights", "1")
+			allEqual("region", "0")
 		},
 		Validate: func(v Values) error {
-			_, _, err := parseMix(v)
+			_, _, _, err := parseMix(v)
 			return err
 		},
 		Build: func(seed uint64, v Values) (Generator, error) {
@@ -316,7 +367,7 @@ func registerMix() {
 			if err != nil {
 				return nil, err
 			}
-			names, weights, err := parseMix(v)
+			names, weights, regions, err := parseMix(v)
 			if err != nil {
 				return nil, err
 			}
@@ -333,6 +384,9 @@ func registerMix() {
 				if !ok {
 					return nil, fmt.Errorf("gens[%d] %q cannot be checkpointed", i, name)
 				}
+				if regions[i] > 0 {
+					sg = &regionGen{sub: sg, offset: mem.Addr(regions[i]) * regionSpan}
+				}
 				m.subs = append(m.subs, sg)
 			}
 			for _, w := range weights {
@@ -340,18 +394,20 @@ func registerMix() {
 			}
 			return m, nil
 		},
-		Help: "weighted interleave of other registered generators (gens=a+b)",
+		Help: "weighted interleave of other registered generators (gens=a+b, region=0+1 for disjoint address regions)",
 	})
 }
 
 // parseMix is the shared parameter step of mix's Build and Validate: the
 // gens list resolved and checked against the registry (names must be
 // registered, non-mix generators), weights defaulted to all ones and
-// bounds-checked. Sub-generator construction itself stays in Build.
-func parseMix(v Values) (names []string, weights []int, err error) {
+// bounds-checked, region indices defaulted to all zeros (shared region)
+// and bounds-checked. Sub-generator construction itself stays in Build.
+func parseMix(v Values) (names []string, weights, regions []int, err error) {
 	weights = v.Ints("weights", nil, &err)
+	regions = v.Ints("region", nil, &err)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	raw, ok := v["gens"]
 	if !ok {
@@ -360,13 +416,13 @@ func parseMix(v Values) (names []string, weights []int, err error) {
 	names = strings.Split(raw, "+")
 	for i, name := range names {
 		if name == "mix" {
-			return nil, nil, fmt.Errorf("mix cannot nest another mix")
+			return nil, nil, nil, fmt.Errorf("mix cannot nest another mix")
 		}
 		// Sub-generators run with their default parameters, so each name
 		// must normalize as a bare spec — which also rejects registered
 		// names that cannot build without parameters ("file" needs a path).
 		if _, e := Normalize(Spec{Name: name}); e != nil {
-			return nil, nil, fmt.Errorf("gens[%d]: %v", i, e)
+			return nil, nil, nil, fmt.Errorf("gens[%d]: %v", i, e)
 		}
 	}
 	if weights == nil {
@@ -376,9 +432,20 @@ func parseMix(v Values) (names []string, weights []int, err error) {
 		}
 	}
 	if e := checkWeights(weights, len(names), "gens"); e != nil {
-		return nil, nil, e
+		return nil, nil, nil, e
 	}
-	return names, weights, nil
+	if regions == nil {
+		regions = make([]int, len(names))
+	}
+	if len(regions) != len(names) {
+		return nil, nil, nil, fmt.Errorf("region lists %d values, gens has %d", len(regions), len(names))
+	}
+	for i, r := range regions {
+		if r < 0 || r > maxRegion {
+			return nil, nil, nil, fmt.Errorf("region[%d]=%d out of range 0..%d", i, r, maxRegion)
+		}
+	}
+	return names, weights, regions, nil
 }
 
 // registerFile registers the recorded-trace replayer: the spec-form
