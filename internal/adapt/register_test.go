@@ -1,0 +1,84 @@
+package adapt_test
+
+// External test package: exercises adapt exactly as the engine sees it, with
+// the full registry linked (the in-package tests cannot import
+// internal/prefetch/all — it imports adapt back).
+
+import (
+	"strings"
+	"testing"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+	_ "bopsim/internal/prefetch/all"
+)
+
+func TestSpecNormalization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"adapt:base=bo,window=4096", "adapt"},
+		{"adapt:base=bo.scoremax~31", "adapt"}, // child default drops inside the quoting
+		{"adapt:base=multi.minscore~12,window=1024", "adapt:base=multi.minscore~12,window=1024"},
+	}
+	for _, c := range cases {
+		got, err := prefetch.NormalizeL2(prefetch.MustSpec(c.in))
+		if err != nil {
+			t.Errorf("NormalizeL2(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("NormalizeL2(%q) = %q, want %q", c.in, got.String(), c.want)
+		}
+	}
+}
+
+func TestSpecBuilds(t *testing.T) {
+	for _, good := range []string{
+		"adapt",
+		"adapt:base=multi,window=1024",
+		"adapt:base=multi.offsets~1+2+4+8,lo=20,hi=70",
+		// A custom single-key ladder works for any Retunable key.
+		"adapt:base=multi,key=minscore,levels=48+12",
+		"adapt:base=bo,key=degree,levels=1+2",
+	} {
+		pf, err := prefetch.NewL2(prefetch.MustSpec(good), mem.Page4M)
+		if err != nil {
+			t.Errorf("NewL2(%q): %v", good, err)
+			continue
+		}
+		if !strings.HasPrefix(pf.Name(), "adapt[") {
+			t.Errorf("NewL2(%q).Name() = %q", good, pf.Name())
+		}
+	}
+}
+
+func TestSpecRejections(t *testing.T) {
+	for _, bad := range []string{
+		// Meta-prefetchers cannot nest.
+		"adapt:base=duel",
+		"adapt:base=adapt.base~bo",
+		// The base must be Retunable: a fixed offset has nothing to retune,
+		// and "none" even less.
+		"adapt:base=offset.d~4",
+		"adapt:base=none",
+		// sbp is a real prefetcher but has no built-in ladder and no custom
+		// one was given.
+		"adapt:base=sbp",
+		// A custom ladder needs both halves and at least two levels.
+		"adapt:key=badscore",
+		"adapt:levels=1+2",
+		"adapt:base=multi,key=minscore,levels=48",
+		// A ladder level the base rejects fails at build, not mid-run.
+		"adapt:base=multi,key=minscore,levels=48+nope",
+		"adapt:base=bo,key=degree,levels=1+3",
+		// Monitoring-parameter validation.
+		"adapt:window=0",
+		"adapt:lo=70,hi=30",
+		"adapt:hi=101",
+		"adapt:minfills=0",
+		"adapt:recent=0",
+	} {
+		if _, err := prefetch.NewL2(prefetch.MustSpec(bad), mem.Page4M); err == nil {
+			t.Errorf("NewL2(%q) accepted", bad)
+		}
+	}
+}

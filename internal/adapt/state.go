@@ -1,0 +1,90 @@
+package adapt
+
+import (
+	"fmt"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+)
+
+var _ prefetch.StateCodec = (*Prefetcher)(nil)
+
+// adaptState mirrors the wrapper's own state and frames the base's state as
+// opaque nested bytes (duel's framing, one child). BaseSpec pins the base's
+// identity; Level is re-applied on restore before the nested frame is
+// opened, so the base's retuned parameters and its frame agree.
+type adaptState struct {
+	BaseSpec string
+	Base     []byte // the base's own prefetch.StateCodec frame
+
+	Level  int
+	Count  int
+	Useful int
+	Filled int
+	Marks  []uint64
+	Stats  Stats
+}
+
+// SaveState implements prefetch.StateCodec.
+func (p *Prefetcher) SaveState() ([]byte, error) {
+	frame, err := p.bc.SaveState()
+	if err != nil {
+		return nil, fmt.Errorf("adapt: saving base: %w", err)
+	}
+	st := adaptState{
+		BaseSpec: p.params.Base.String(),
+		Base:     frame,
+		Level:    p.level,
+		Count:    p.count,
+		Useful:   p.useful,
+		Filled:   p.filled,
+		Marks:    make([]uint64, len(p.marks)),
+		Stats:    p.stats,
+	}
+	for i, l := range p.marks {
+		st.Marks[i] = uint64(l)
+	}
+	return prefetch.MarshalState(st)
+}
+
+// RestoreState implements prefetch.StateCodec.
+func (p *Prefetcher) RestoreState(data []byte) error {
+	var st adaptState
+	if err := prefetch.UnmarshalState(data, &st); err != nil {
+		return err
+	}
+	if want := p.params.Base.String(); st.BaseSpec != want {
+		return fmt.Errorf("adapt: state is for base %q, this wrapper runs %q", st.BaseSpec, want)
+	}
+	if st.Level < 0 || st.Level >= len(p.lad.levels) {
+		return fmt.Errorf("adapt: ladder level %d out of range 0..%d", st.Level, len(p.lad.levels)-1)
+	}
+	if st.Count < 0 || st.Count >= p.params.Window {
+		return fmt.Errorf("adapt: window count %d out of range 0..%d", st.Count, p.params.Window-1)
+	}
+	if st.Useful < 0 || st.Useful > st.Count {
+		return fmt.Errorf("adapt: %d useful fills exceed the %d accesses observed", st.Useful, st.Count)
+	}
+	if st.Filled < 0 {
+		return fmt.Errorf("adapt: negative fill count %d", st.Filled)
+	}
+	if len(st.Marks) != len(p.marks) {
+		return fmt.Errorf("adapt: state mark table has %d slots, prefetcher has %d", len(st.Marks), len(p.marks))
+	}
+	// Re-seat the ladder first — New proved every level applicable — then
+	// let the base's frame overwrite whatever the retune reset.
+	if err := p.apply(st.Level); err != nil {
+		return fmt.Errorf("adapt: re-applying ladder level %d: %v", st.Level, err)
+	}
+	if err := p.bc.RestoreState(st.Base); err != nil {
+		return fmt.Errorf("adapt: restoring base: %w", err)
+	}
+	p.count = st.Count
+	p.useful = st.Useful
+	p.filled = st.Filled
+	for i, l := range st.Marks {
+		p.marks[i] = mem.LineAddr(l)
+	}
+	p.stats = st.Stats
+	return nil
+}

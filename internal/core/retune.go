@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"bopsim/internal/prefetch"
+)
+
+var _ prefetch.Retunable = (*Prefetcher)(nil)
+
+// RetunableKeys implements prefetch.Retunable.
+func (p *Prefetcher) RetunableKeys() []string { return []string{"badscore", "degree", "offsets"} }
+
+// Retune implements prefetch.Retunable.
+//
+// "degree" (1 or 2) takes effect on the next access; dropping to degree 1
+// clears the second-best offset so it cannot issue again. "badscore" moves
+// the throttling threshold for the next phase end and re-anchors the
+// adaptive-throttle floor the way construction does. "offsets" replaces the
+// candidate list and restarts the learning phase from scratch — scores,
+// round and cursors cleared — while the current prefetch offset D keeps
+// issuing until that phase ends (D is a value, not an index, so it need not
+// appear in the new list).
+func (p *Prefetcher) Retune(key, value string) error {
+	switch key {
+	case "degree":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("core: retune degree=%q: not an integer", value)
+		}
+		if n < 1 || n > 2 {
+			return fmt.Errorf("core: retune degree=%d must be 1 or 2", n)
+		}
+		p.params.Degree = n
+		if n == 1 {
+			p.d2 = 0
+		}
+		return nil
+	case "badscore":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("core: retune badscore=%q: not an integer", value)
+		}
+		p.params.BadScore = n
+		p.dynBadScore = n
+		return nil
+	case "offsets":
+		var err error
+		list := prefetch.Values{"offsets": value}.Ints("offsets", nil, &err)
+		if err != nil {
+			return fmt.Errorf("core: retune %v", err)
+		}
+		if len(list) == 0 {
+			return fmt.Errorf("core: retune offsets=%q: empty list", value)
+		}
+		for _, d := range list {
+			if d == 0 {
+				return fmt.Errorf("core: retune offsets=%q: offset 0 is meaningless", value)
+			}
+		}
+		p.params.Offsets = list
+		if cap(p.scores) >= len(list) {
+			p.scores = p.scores[:len(list)]
+		} else {
+			p.scores = make([]int, len(list))
+		}
+		for i := range p.scores {
+			p.scores[i] = 0
+		}
+		p.offIdx = 0
+		p.round = 0
+		p.bestIdx = 0
+		p.bestScore = 0
+		p.d2 = 0
+		return nil
+	}
+	return fmt.Errorf("core: parameter %q is not retunable (retunable: badscore|degree|offsets)", key)
+}

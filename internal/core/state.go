@@ -9,8 +9,15 @@ import (
 var _ prefetch.StateCodec = (*Prefetcher)(nil)
 
 // boState mirrors the BO prefetcher's learning state with exported fields
-// for the prefetch.StateCodec encoding.
+// for the prefetch.StateCodec encoding. Offsets, Degree and BadScore are
+// carried because prefetch.Retunable can move them away from the
+// construction spec; a restore re-adopts them so a retuned prefetcher
+// round-trips exactly.
 type boState struct {
+	Offsets  []int
+	Degree   int
+	BadScore int
+
 	RRTags  []uint16
 	RRValid []bool
 
@@ -33,6 +40,9 @@ type boState struct {
 // SaveState implements prefetch.StateCodec.
 func (p *Prefetcher) SaveState() ([]byte, error) {
 	return prefetch.MarshalState(boState{
+		Offsets:     append([]int(nil), p.params.Offsets...),
+		Degree:      p.params.Degree,
+		BadScore:    p.params.BadScore,
 		RRTags:      append([]uint16(nil), p.rr.tags...),
 		RRValid:     append([]bool(nil), p.rr.valid...),
 		Scores:      append([]int(nil), p.scores...),
@@ -55,17 +65,36 @@ func (p *Prefetcher) RestoreState(data []byte) error {
 	if err := prefetch.UnmarshalState(data, &st); err != nil {
 		return err
 	}
+	if len(st.Offsets) == 0 {
+		return fmt.Errorf("core: state has an empty offset list")
+	}
+	for _, d := range st.Offsets {
+		if d == 0 {
+			return fmt.Errorf("core: state offset 0 is meaningless")
+		}
+	}
+	if st.Degree < 1 || st.Degree > 2 {
+		return fmt.Errorf("core: state degree=%d must be 1 or 2", st.Degree)
+	}
 	if len(st.RRTags) != len(p.rr.tags) || len(st.RRValid) != len(p.rr.valid) {
 		return fmt.Errorf("core: RR state covers %d/%d entries, table has %d", len(st.RRTags), len(st.RRValid), len(p.rr.tags))
 	}
-	if len(st.Scores) != len(p.scores) {
-		return fmt.Errorf("core: state has %d scores, prefetcher tests %d offsets", len(st.Scores), len(p.scores))
+	if len(st.Scores) != len(st.Offsets) {
+		return fmt.Errorf("core: state has %d scores for %d offsets", len(st.Scores), len(st.Offsets))
 	}
-	if st.OffIdx < 0 || st.OffIdx >= len(p.params.Offsets) {
-		return fmt.Errorf("core: offset cursor %d out of range 0..%d", st.OffIdx, len(p.params.Offsets)-1)
+	if st.OffIdx < 0 || st.OffIdx >= len(st.Offsets) {
+		return fmt.Errorf("core: offset cursor %d out of range 0..%d", st.OffIdx, len(st.Offsets)-1)
 	}
-	if st.BestIdx < 0 || st.BestIdx >= len(p.params.Offsets) {
-		return fmt.Errorf("core: best-offset index %d out of range 0..%d", st.BestIdx, len(p.params.Offsets)-1)
+	if st.BestIdx < 0 || st.BestIdx >= len(st.Offsets) {
+		return fmt.Errorf("core: best-offset index %d out of range 0..%d", st.BestIdx, len(st.Offsets)-1)
+	}
+	p.params.Offsets = append([]int(nil), st.Offsets...)
+	p.params.Degree = st.Degree
+	p.params.BadScore = st.BadScore
+	if cap(p.scores) >= len(st.Offsets) {
+		p.scores = p.scores[:len(st.Offsets)]
+	} else {
+		p.scores = make([]int, len(st.Offsets))
 	}
 	copy(p.rr.tags, st.RRTags)
 	copy(p.rr.valid, st.RRValid)

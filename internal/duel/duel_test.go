@@ -1,0 +1,246 @@
+package duel
+
+import (
+	"bytes"
+	"testing"
+
+	"bopsim/internal/core"
+	"bopsim/internal/mem"
+	"bopsim/internal/multi"
+	"bopsim/internal/prefetch"
+)
+
+// harness emulates the hierarchy's side of the prefetcher contract: every
+// OnAccess target is filled as a prefetch, and an access to a line that was
+// prefetch-filled arrives as a prefetched hit (still eligible), which is
+// exactly the event duel's scoring consumes.
+type harness struct {
+	pf         prefetch.L2Prefetcher
+	prefetched map[mem.LineAddr]bool
+}
+
+func newHarness(pf prefetch.L2Prefetcher) *harness {
+	return &harness{pf: pf, prefetched: make(map[mem.LineAddr]bool)}
+}
+
+// access drives one demand access and the fills it provokes, returning the
+// issued targets.
+func (h *harness) access(line mem.LineAddr) []mem.LineAddr {
+	a := prefetch.AccessInfo{Line: line}
+	if h.prefetched[line] {
+		a.Hit, a.PrefetchedHit = true, true
+		delete(h.prefetched, line)
+	}
+	targets := h.pf.OnAccess(a)
+	for _, t := range targets {
+		h.pf.OnFill(t, true)
+		h.prefetched[t] = true
+	}
+	return targets
+}
+
+// testParams keeps windows short and partitions dense so a few thousand
+// accesses settle the duel.
+func testParams(a, b prefetch.Spec) Params {
+	return Params{
+		A: a, B: b,
+		Period: 256,
+		Margin: 2,
+		Sets:   64,
+		Sample: 4,
+		Recent: 512,
+	}
+}
+
+const pageLines = 65536 // 4MB page in 64B lines
+
+// chunkedPhase is the short-stride phase: 16-line sequential bursts whose
+// bases sit 997 lines apart, so offset 1 covers 15/16 accesses and offset 33
+// covers none.
+func chunkedPhase(h *harness, page mem.LineAddr, accesses int) {
+	base := page * pageLines
+	for i := 0; i < accesses/16; i++ {
+		for j := mem.LineAddr(0); j < 16; j++ {
+			h.access(base + mem.LineAddr(i)*997 + j)
+		}
+	}
+}
+
+// stridePhase is the long-stride phase: a stride-33 stream (33 is odd, so
+// the walk visits every set of a power-of-two set count), wrapping inside
+// one page; offset 33 covers nearly every access and offset 1 covers none.
+func stridePhase(h *harness, page mem.LineAddr, accesses int) {
+	base := page * pageLines
+	for i := 0; i < accesses; i++ {
+		h.access(base + mem.LineAddr(i*33%65000))
+	}
+}
+
+// TestConvergesToBetterCandidatePerPhase is the acceptance scenario: two
+// candidates that each lose one phase of a phase-switching workload. The
+// duel must seat the short-stride specialist during chunked phases and the
+// long-stride specialist during strided phases, switching both ways.
+func TestConvergesToBetterCandidatePerPhase(t *testing.T) {
+	p := testParams(prefetch.MustSpec("offset:d=1"), prefetch.MustSpec("offset:d=33"))
+	pf := New(p,
+		prefetch.NewFixedOffset(mem.Page4M, 1),
+		prefetch.NewFixedOffset(mem.Page4M, 33))
+	h := newHarness(pf)
+
+	chunkedPhase(h, 0, 4096) // 16 windows
+	if got := pf.Winner(); got != ownerA {
+		t.Fatalf("after chunked phase: winner %d, want A (%d); stats %+v", got, ownerA, pf.Stats())
+	}
+	stridePhase(h, 8, 4096)
+	if got := pf.Winner(); got != ownerB {
+		t.Fatalf("after strided phase: winner %d, want B (%d); stats %+v", got, ownerB, pf.Stats())
+	}
+	chunkedPhase(h, 16, 4096)
+	if got := pf.Winner(); got != ownerA {
+		t.Fatalf("after second chunked phase: winner %d, want A (%d); stats %+v", got, ownerA, pf.Stats())
+	}
+	if s := pf.Stats(); s.Switches < 2 {
+		t.Errorf("expected at least 2 seat switches, got %+v", s)
+	}
+}
+
+// statefulDuel builds a duel over bo and multi — children with real learned
+// state — for the nested-codec tests.
+func statefulDuel() *Prefetcher {
+	p := testParams(prefetch.MustSpec("bo"), prefetch.MustSpec("multi"))
+	return New(p,
+		core.New(mem.Page4M, core.DefaultParams()),
+		multi.New(mem.Page4M, multi.DefaultParams()))
+}
+
+// TestMidWindowSaveRestore checkpoints a duel mid-window (count != 0, marks
+// populated, children mid-learning) and requires the restored instance to
+// issue identical prefetches and save identical bytes from then on.
+func TestMidWindowSaveRestore(t *testing.T) {
+	orig := statefulDuel()
+	h := newHarness(orig)
+	chunkedPhase(h, 0, 512)
+	stridePhase(h, 8, 300) // 812 accesses: mid-window at period 256
+	state, err := orig.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := statefulDuel()
+	if err := restored.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Winner() != orig.Winner() {
+		t.Fatalf("restored winner %d != original %d", restored.Winner(), orig.Winner())
+	}
+
+	// The harness's prefetched-line set is hierarchy state, not prefetcher
+	// state: the restored run must replay it too.
+	h2 := newHarness(restored)
+	for l := range h.prefetched {
+		h2.prefetched[l] = true
+	}
+	for i := 0; i < 3000; i++ {
+		line := mem.LineAddr(16*pageLines + i*7%60000)
+		got := append([]mem.LineAddr(nil), h2.access(line)...)
+		want := h.access(line)
+		if len(got) != len(want) {
+			t.Fatalf("access %d: restored issued %v, original %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("access %d: restored issued %v, original %v", i, got, want)
+			}
+		}
+	}
+	b1, err := orig.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := restored.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("diverged state bytes after identical post-restore streams")
+	}
+}
+
+// TestRestoreRejections is the rejection matrix: every malformed or
+// mismatched state must error without panicking, and a candidate-spec
+// mismatch must be caught before any nested frame is opened.
+func TestRestoreRejections(t *testing.T) {
+	pf := statefulDuel()
+	h := newHarness(pf)
+	chunkedPhase(h, 0, 700)
+	good, err := pf.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st duelState
+	if err := prefetch.UnmarshalState(good, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(f func(*duelState)) []byte {
+		var c duelState
+		if err := prefetch.UnmarshalState(good, &c); err != nil {
+			t.Fatal(err)
+		}
+		f(&c)
+		b, err := prefetch.MarshalState(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte(`{"Nope":1}`)},
+		{"truncated json", good[:len(good)/2]},
+		{"candidate a spec mismatch", mutate(func(s *duelState) { s.ASpec = "offset:d=7" })},
+		{"candidate b spec mismatch", mutate(func(s *duelState) { s.BSpec = "sbp" })},
+		{"winner out of range", mutate(func(s *duelState) { s.Winner = ownerFollower })},
+		{"window count at period", mutate(func(s *duelState) { s.Count = pf.params.Period })},
+		{"negative window count", mutate(func(s *duelState) { s.Count = -1 })},
+		{"scores exceed count", mutate(func(s *duelState) { s.AScore = s.Count + 1 })},
+		{"mark table resized", mutate(func(s *duelState) { s.AMarks = s.AMarks[:4] })},
+		{"truncated nested frame", mutate(func(s *duelState) { s.A = s.A[:len(s.A)-3] })},
+		{"empty nested frame", mutate(func(s *duelState) { s.B = nil })},
+	}
+	for _, c := range cases {
+		fresh := statefulDuel()
+		if err := fresh.RestoreState(c.data); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// The good bytes still restore after all that.
+	if err := statefulDuel().RestoreState(good); err != nil {
+		t.Errorf("good state rejected: %v", err)
+	}
+}
+
+// TestSteadyStateZeroAlloc pins duel's own hot-path cost: once the mark
+// tables exist, accesses, fills and window boundaries allocate nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	p := testParams(prefetch.MustSpec("offset:d=1"), prefetch.MustSpec("offset:d=33"))
+	pf := New(p,
+		prefetch.NewFixedOffset(mem.Page4M, 1),
+		prefetch.NewFixedOffset(mem.Page4M, 33))
+	line := mem.LineAddr(0)
+	step := func() {
+		targets := pf.OnAccess(prefetch.AccessInfo{Line: line})
+		for _, tgt := range targets {
+			pf.OnFill(tgt, true)
+		}
+		line = (line + 33) % (1 << 20)
+	}
+	for i := 0; i < 10_000; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(5000, step); avg != 0 {
+		t.Errorf("steady-state OnAccess+OnFill allocates %.3f objects/op, want 0", avg)
+	}
+}

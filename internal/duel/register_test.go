@@ -1,0 +1,82 @@
+package duel_test
+
+// External test package: exercises duel exactly as the engine sees it, with
+// the full registry linked (the in-package tests cannot import
+// internal/prefetch/all — it imports duel back).
+
+import (
+	"strings"
+	"testing"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+	_ "bopsim/internal/prefetch/all"
+)
+
+func TestSpecNormalization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// The default candidates spelled out collapse to the bare name.
+		{"duel:a=bo,b=multi", "duel"},
+		{"duel:period=2048,sample=16", "duel"},
+		// Quoted nested parameters survive normalization; the child spec is
+		// canonicalized inside the quoting (multi's default maxissue drops).
+		{"duel:a=bo.degree~2,period=512", "duel:a=bo.degree~2,period=512"},
+		{"duel:b=multi.maxissue~4", "duel"},
+		{"duel:b=multi.minscore~12;maxissue~4", "duel:b=multi.minscore~12"},
+	}
+	for _, c := range cases {
+		got, err := prefetch.NormalizeL2(prefetch.MustSpec(c.in))
+		if err != nil {
+			t.Errorf("NormalizeL2(%q): %v", c.in, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("NormalizeL2(%q) = %q, want %q", c.in, got.String(), c.want)
+		}
+	}
+}
+
+func TestSpecBuilds(t *testing.T) {
+	for _, good := range []string{
+		"duel",
+		"duel:a=offset.d~1,b=offset.d~33,period=256,margin=2,sets=64,sample=4",
+		"duel:a=bo.degree~2;badscore~2,b=sbp",
+		// "none" is a legal candidate: dueling a prefetcher against not
+		// prefetching at all.
+		"duel:a=none,b=bo",
+	} {
+		pf, err := prefetch.NewL2(prefetch.MustSpec(good), mem.Page4M)
+		if err != nil {
+			t.Errorf("NewL2(%q): %v", good, err)
+			continue
+		}
+		if !strings.HasPrefix(pf.Name(), "duel[") {
+			t.Errorf("NewL2(%q).Name() = %q", good, pf.Name())
+		}
+	}
+}
+
+func TestSpecRejections(t *testing.T) {
+	for _, bad := range []string{
+		// Meta-prefetchers cannot nest, in either seat.
+		"duel:a=duel,b=bo",
+		"duel:b=adapt.base~bo",
+		// Identical candidates (after normalization) have nothing to duel.
+		"duel:a=bo,b=bo",
+		"duel:a=multi.maxissue~4", // normalizes to the default b=multi
+		// Child spec errors surface through the parent.
+		"duel:a=offset.d~0",
+		"duel:a=nosuchpf",
+		"duel:a=stride", // L1-only name
+		// Dueling-parameter validation.
+		"duel:sample=1",
+		"duel:sets=8,sample=16",
+		"duel:period=0",
+		"duel:margin=-1",
+		"duel:recent=0",
+	} {
+		if _, err := prefetch.NewL2(prefetch.MustSpec(bad), mem.Page4M); err == nil {
+			t.Errorf("NewL2(%q) accepted", bad)
+		}
+	}
+}

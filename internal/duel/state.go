@@ -1,0 +1,129 @@
+package duel
+
+import (
+	"fmt"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+)
+
+var _ prefetch.StateCodec = (*Prefetcher)(nil)
+
+// duelState mirrors the duel's own state and frames each candidate's state
+// as opaque nested bytes, the way trace's GenState.Subs frames mix's
+// sub-generator cursors. ASpec/BSpec pin the candidate identities: a restore
+// into a duel built from different candidates is rejected before any nested
+// frame is opened.
+type duelState struct {
+	ASpec string
+	BSpec string
+	A     []byte // candidate A's own prefetch.StateCodec frame
+	B     []byte
+
+	Winner int
+	Count  int
+	AScore int
+	BScore int
+	APend  []uint64
+	BPend  []uint64
+	AMarks []uint64
+	BMarks []uint64
+	Stats  Stats
+}
+
+// SaveState implements prefetch.StateCodec.
+func (p *Prefetcher) SaveState() ([]byte, error) {
+	aFrame, err := p.ac.SaveState()
+	if err != nil {
+		return nil, fmt.Errorf("duel: saving candidate a: %w", err)
+	}
+	bFrame, err := p.bc.SaveState()
+	if err != nil {
+		return nil, fmt.Errorf("duel: saving candidate b: %w", err)
+	}
+	st := duelState{
+		ASpec:  p.params.A.String(),
+		BSpec:  p.params.B.String(),
+		A:      aFrame,
+		B:      bFrame,
+		Winner: p.winner,
+		Count:  p.count,
+		AScore: p.aScore,
+		BScore: p.bScore,
+		APend:  make([]uint64, len(p.aPend)),
+		BPend:  make([]uint64, len(p.bPend)),
+		AMarks: make([]uint64, len(p.aMarks)),
+		BMarks: make([]uint64, len(p.bMarks)),
+		Stats:  p.stats,
+	}
+	for i, l := range p.aPend {
+		st.APend[i] = uint64(l)
+	}
+	for i, l := range p.bPend {
+		st.BPend[i] = uint64(l)
+	}
+	for i, l := range p.aMarks {
+		st.AMarks[i] = uint64(l)
+	}
+	for i, l := range p.bMarks {
+		st.BMarks[i] = uint64(l)
+	}
+	return prefetch.MarshalState(st)
+}
+
+// RestoreState implements prefetch.StateCodec. Everything is validated
+// before anything is adopted, and the nested frames are opened by the
+// candidates' own codecs — a truncated or mismatched child frame surfaces as
+// their error, wrapped with which seat it sat in.
+func (p *Prefetcher) RestoreState(data []byte) error {
+	var st duelState
+	if err := prefetch.UnmarshalState(data, &st); err != nil {
+		return err
+	}
+	if want := p.params.A.String(); st.ASpec != want {
+		return fmt.Errorf("duel: state is for candidate a %q, this duel runs %q", st.ASpec, want)
+	}
+	if want := p.params.B.String(); st.BSpec != want {
+		return fmt.Errorf("duel: state is for candidate b %q, this duel runs %q", st.BSpec, want)
+	}
+	if st.Winner != ownerA && st.Winner != ownerB {
+		return fmt.Errorf("duel: winner %d out of range (want %d or %d)", st.Winner, ownerA, ownerB)
+	}
+	if st.Count < 0 || st.Count >= p.params.Period {
+		return fmt.Errorf("duel: window count %d out of range 0..%d", st.Count, p.params.Period-1)
+	}
+	// One eligible access can consume a mark from each table, so the scores
+	// bound independently against the window's access count.
+	if st.AScore < 0 || st.BScore < 0 || st.AScore > st.Count || st.BScore > st.Count {
+		return fmt.Errorf("duel: window scores %d/%d exceed the %d accesses observed", st.AScore, st.BScore, st.Count)
+	}
+	if len(st.APend) != len(p.aPend) || len(st.BPend) != len(p.bPend) ||
+		len(st.AMarks) != len(p.aMarks) || len(st.BMarks) != len(p.bMarks) {
+		return fmt.Errorf("duel: state pending/mark tables have %d/%d/%d/%d slots, prefetcher has %d",
+			len(st.APend), len(st.BPend), len(st.AMarks), len(st.BMarks), len(p.aMarks))
+	}
+	if err := p.ac.RestoreState(st.A); err != nil {
+		return fmt.Errorf("duel: restoring candidate a: %w", err)
+	}
+	if err := p.bc.RestoreState(st.B); err != nil {
+		return fmt.Errorf("duel: restoring candidate b: %w", err)
+	}
+	p.winner = st.Winner
+	p.count = st.Count
+	p.aScore = st.AScore
+	p.bScore = st.BScore
+	for i, l := range st.APend {
+		p.aPend[i] = mem.LineAddr(l)
+	}
+	for i, l := range st.BPend {
+		p.bPend[i] = mem.LineAddr(l)
+	}
+	for i, l := range st.AMarks {
+		p.aMarks[i] = mem.LineAddr(l)
+	}
+	for i, l := range st.BMarks {
+		p.bMarks[i] = mem.LineAddr(l)
+	}
+	p.stats = st.Stats
+	return nil
+}

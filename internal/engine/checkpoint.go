@@ -46,7 +46,12 @@ import (
 // v2: the warmup signature identifies workloads by per-core spec (file
 // replays by content hash) instead of the Workload/TracePath pair, and
 // generator cursors may carry mix sub-states.
-const SnapshotVersion = 2
+//
+// v3: the bo and multi prefetcher states carry their retunable parameters
+// (offsets/degree/badscore, offsets/minscore) so prefetch.Retunable
+// round-trips, and meta-prefetcher states (duel, adapt) frame nested child
+// state.
+const SnapshotVersion = 3
 
 // snapshotMagic begins every snapshot.
 const snapshotMagic = "BOCKPT01"

@@ -140,7 +140,13 @@ func TestSharedWarmupDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, spec := range []string{"bo", "sbp", "multi", "offset:d=4"} {
+	for _, spec := range []string{
+		"bo", "sbp", "multi", "offset:d=4",
+		// Parameterized meta-prefetchers: nested quoted sub-specs must share
+		// the none-warmed snapshot like any other variant.
+		"duel:a=bo,b=offset.d~4,period=512",
+		"adapt:base=multi.offsets~1+2+4+8,window=1024",
+	} {
 		spec := spec
 		t.Run(spec, func(t *testing.T) {
 			o := warmed("459.GemsFDTD")

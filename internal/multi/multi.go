@@ -28,13 +28,17 @@ type Params struct {
 	Recent   int   // recent-access table entries (rounded up to a power of 2)
 }
 
-// DefaultParams covers short, medium and long strides with a conservative
-// per-access issue cap.
+// DefaultParams covers power-of-two strides up to 32 with a conservative
+// per-access issue cap. The offset set and score bar come from the bakeoff
+// committed in DESIGN.md §11.4 (run after the cross-page audit fix): the
+// denser set with a low bar clearly beats the original {1,2,8,32}/24 —
+// minscore 24 was mostly compensating for scores the cross-page leak
+// inflated, and over-gates once the audit only credits issuable covers.
 func DefaultParams() Params {
 	return Params{
-		Offsets:  []int{1, 2, 8, 32},
+		Offsets:  []int{1, 2, 4, 8, 16, 32},
 		Period:   256,
-		MinScore: 24,
+		MinScore: 6,
 		MaxIssue: 4,
 		Recent:   128,
 	}
@@ -108,15 +112,22 @@ func (p *Prefetcher) PreIssueTagCheck() bool { return true }
 func (p *Prefetcher) Stats() Stats { return p.stats }
 
 // EnabledOffsets returns the offsets currently issuing prefetches, in
-// configuration order, for inspection by tests and examples.
+// configuration order. It allocates; hot-path callers polling a live
+// prefetcher use AppendEnabledOffsets instead.
 func (p *Prefetcher) EnabledOffsets() []int {
-	var out []int
+	return p.AppendEnabledOffsets(nil)
+}
+
+// AppendEnabledOffsets appends the offsets currently issuing prefetches to
+// dst, in configuration order, and returns the extended slice. With a caller
+// buffer of cap >= len(Offsets) it does not allocate.
+func (p *Prefetcher) AppendEnabledOffsets(dst []int) []int {
 	for i, on := range p.enabled {
 		if on {
-			out = append(out, p.params.Offsets[i])
+			dst = append(dst, p.params.Offsets[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // OnAccess implements prefetch.L2Prefetcher: score every offset against the
@@ -129,7 +140,11 @@ func (p *Prefetcher) OnAccess(a prefetch.AccessInfo) []mem.LineAddr {
 	}
 	for i, d := range p.params.Offsets {
 		prev := int64(a.Line) - int64(d)
-		if prev >= 0 && p.recentHit(mem.LineAddr(prev)) {
+		// Score only what the issue path below would actually prefetch: a
+		// cross-page X-d may well be a recent access, but a d-prefetch from
+		// it could never have issued, so crediting it would keep d enabled
+		// on covers it never provides.
+		if prev >= 0 && p.page.SamePage(a.Line, mem.LineAddr(prev)) && p.recentHit(mem.LineAddr(prev)) {
 			p.scores[i]++
 		}
 	}

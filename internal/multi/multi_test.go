@@ -1,6 +1,7 @@
 package multi
 
 import (
+	"bytes"
 	"testing"
 
 	"bopsim/internal/mem"
@@ -114,5 +115,153 @@ func TestRegisteredSpec(t *testing.T) {
 	}
 	if _, err := prefetch.NewL2(prefetch.MustSpec("multi:offsets=0"), mem.Page4K); err == nil {
 		t.Error("offset 0 accepted")
+	}
+}
+
+func TestScoringDropsCrossPageCovers(t *testing.T) {
+	// Alternate between the last line of one 4KB page and the first line of
+	// the next: the numeric distance is 1, but a +1 prefetch from line 63
+	// could never issue (page boundary), so offset 1 must not score — the
+	// audit may only credit covers the issue path could have provided.
+	p := New(mem.Page4K, Params{Offsets: []int{1}, Period: 64, MinScore: 1, MaxIssue: 8, Recent: 128})
+	for i := 0; i < 32; i++ {
+		p.OnAccess(eligible(63))
+		p.OnAccess(eligible(64))
+	}
+	if en := p.EnabledOffsets(); len(en) != 0 {
+		t.Errorf("cross-page +1 pattern kept offset 1 enabled (scores credited covers the page boundary drops)")
+	}
+	// The same distance inside one page does score.
+	p2 := New(mem.Page4K, Params{Offsets: []int{1}, Period: 64, MinScore: 1, MaxIssue: 8, Recent: 128})
+	for i := 0; i < 32; i++ {
+		p2.OnAccess(eligible(10))
+		p2.OnAccess(eligible(11))
+	}
+	if en := p2.EnabledOffsets(); len(en) != 1 {
+		t.Errorf("in-page +1 pattern did not keep offset 1 enabled")
+	}
+}
+
+func TestAppendEnabledOffsetsDoesNotAllocate(t *testing.T) {
+	p := New(mem.Page4M, DefaultParams())
+	buf := make([]int, 0, len(DefaultParams().Offsets))
+	if avg := testing.AllocsPerRun(1000, func() {
+		buf = p.AppendEnabledOffsets(buf[:0])
+	}); avg != 0 {
+		t.Errorf("AppendEnabledOffsets into a sized buffer allocates %.3f objects/op, want 0", avg)
+	}
+	if len(buf) != len(DefaultParams().Offsets) {
+		t.Errorf("AppendEnabledOffsets returned %v", buf)
+	}
+}
+
+func TestRetuneMinScore(t *testing.T) {
+	p := New(mem.Page4M, Params{Offsets: []int{4}, Period: 64, MinScore: 1, MaxIssue: 8, Recent: 128})
+	// A stride-4 stream scores offset 4 on every access after the first.
+	line := mem.LineAddr(1 << 20)
+	for i := 0; i < 64; i++ {
+		p.OnAccess(eligible(line))
+		line += 4
+	}
+	if en := p.EnabledOffsets(); len(en) != 1 {
+		t.Fatalf("stride-4 window with minscore 1 disabled offset 4: %v", en)
+	}
+	// Raising the bar above the achievable score disables it at the next
+	// window boundary; the current window is judged against the new value.
+	if err := p.Retune("minscore", "1000"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		p.OnAccess(eligible(line))
+		line += 4
+	}
+	if en := p.EnabledOffsets(); len(en) != 0 {
+		t.Errorf("minscore 1000 kept offset 4 enabled: %v", en)
+	}
+	for _, bad := range [][2]string{{"minscore", "x"}, {"minscore", "-1"}, {"nope", "1"}} {
+		if err := p.Retune(bad[0], bad[1]); err == nil {
+			t.Errorf("Retune(%q, %q) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestRetuneOffsetsRestartsAudit(t *testing.T) {
+	p := New(mem.Page4M, Params{Offsets: []int{1, 4}, Period: 64, MinScore: 32, MaxIssue: 8, Recent: 128})
+	// Disable everything with a noise window.
+	line := mem.LineAddr(1 << 24)
+	for i := 0; i < 64; i++ {
+		p.OnAccess(eligible(line))
+		line += 9973
+	}
+	if en := p.EnabledOffsets(); len(en) != 0 {
+		t.Fatalf("enabled after noise window: %v", en)
+	}
+	// Replacing the offset set restarts the audit: the new set starts fully
+	// enabled with a fresh window, like a freshly constructed prefetcher.
+	if err := p.Retune("offsets", "2+16"); err != nil {
+		t.Fatal(err)
+	}
+	en := p.EnabledOffsets()
+	if len(en) != 2 || en[0] != 2 || en[1] != 16 {
+		t.Fatalf("offsets after retune: %v, want [2 16]", en)
+	}
+	got := p.OnAccess(eligible(1 << 20))
+	if len(got) != 2 || got[0] != (1<<20)+2 || got[1] != (1<<20)+16 {
+		t.Errorf("post-retune issue = %v", got)
+	}
+	for _, bad := range []string{"", "0", "1+0", "1+x"} {
+		if err := p.Retune("offsets", bad); err == nil {
+			t.Errorf("Retune(offsets, %q) accepted", bad)
+		}
+	}
+}
+
+// TestRetunedStateRoundTrip pins the v3 codec property the adaptive wrapper
+// relies on: a retuned instance's state restores into a default-built
+// instance — the snapshot carries offsets/minscore, so the restored
+// prefetcher behaves and re-saves identically.
+func TestRetunedStateRoundTrip(t *testing.T) {
+	orig := New(mem.Page4M, DefaultParams())
+	for _, kv := range [][2]string{{"offsets", "1+2+4+8+16"}, {"minscore", "6"}} {
+		if err := orig.Retune(kv[0], kv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	line := mem.LineAddr(1 << 20)
+	for i := 0; i < 700; i++ { // mid-window at the default period 256
+		orig.OnAccess(eligible(line))
+		line += 4
+	}
+	state, err := orig.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(mem.Page4M, DefaultParams())
+	if err := restored.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 700; i++ {
+		a, b := orig.OnAccess(eligible(line)), restored.OnAccess(eligible(line))
+		if len(a) != len(b) {
+			t.Fatalf("access %d: original issued %v, restored %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("access %d: original issued %v, restored %v", i, a, b)
+			}
+		}
+		line += 4
+	}
+	b1, err := orig.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := restored.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("retuned state did not round-trip into a default-built prefetcher")
 	}
 }

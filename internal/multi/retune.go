@@ -1,0 +1,73 @@
+package multi
+
+import (
+	"fmt"
+	"strconv"
+
+	"bopsim/internal/prefetch"
+)
+
+var _ prefetch.Retunable = (*Prefetcher)(nil)
+
+// RetunableKeys implements prefetch.Retunable.
+func (p *Prefetcher) RetunableKeys() []string { return []string{"minscore", "offsets"} }
+
+// Retune implements prefetch.Retunable.
+//
+// "minscore" takes effect at the next window boundary (the current window's
+// scores are still judged against it) and resets nothing. "offsets" replaces
+// the audited offset set and restarts the audit: scores cleared, every
+// offset enabled, window count zeroed — the new set starts exactly as a
+// freshly constructed prefetcher would.
+func (p *Prefetcher) Retune(key, value string) error {
+	switch key {
+	case "minscore":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("multi: retune minscore=%q: not an integer", value)
+		}
+		if n < 0 {
+			return fmt.Errorf("multi: retune minscore=%d must be >= 0", n)
+		}
+		p.params.MinScore = n
+		return nil
+	case "offsets":
+		var err error
+		list := prefetch.Values{"offsets": value}.Ints("offsets", nil, &err)
+		if err != nil {
+			return fmt.Errorf("multi: retune %v", err)
+		}
+		if len(list) == 0 {
+			return fmt.Errorf("multi: retune offsets=%q: empty list", value)
+		}
+		for _, d := range list {
+			if d == 0 {
+				return fmt.Errorf("multi: retune offsets=%q: offset 0 is meaningless", value)
+			}
+		}
+		p.params.Offsets = list
+		p.scores = resizeInts(p.scores, len(list))
+		p.enabled = resizeBools(p.enabled, len(list))
+		for i := range p.scores {
+			p.scores[i] = 0
+			p.enabled[i] = true
+		}
+		p.count = 0
+		return nil
+	}
+	return fmt.Errorf("multi: parameter %q is not retunable (retunable: minscore|offsets)", key)
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}

@@ -9,8 +9,14 @@ import (
 
 var _ prefetch.StateCodec = (*Prefetcher)(nil)
 
-// multiState mirrors the prefetcher's audit state.
+// multiState mirrors the prefetcher's audit state. Offsets and MinScore are
+// carried because prefetch.Retunable can move them away from the
+// construction spec; a restore re-adopts them so a retuned prefetcher
+// round-trips exactly.
 type multiState struct {
+	Offsets  []int
+	MinScore int
+
 	Recent  []uint64
 	Scores  []int
 	Enabled []bool
@@ -21,11 +27,13 @@ type multiState struct {
 // SaveState implements prefetch.StateCodec.
 func (p *Prefetcher) SaveState() ([]byte, error) {
 	st := multiState{
-		Recent:  make([]uint64, len(p.recent)),
-		Scores:  append([]int(nil), p.scores...),
-		Enabled: append([]bool(nil), p.enabled...),
-		Count:   p.count,
-		Stats:   p.stats,
+		Offsets:  append([]int(nil), p.params.Offsets...),
+		MinScore: p.params.MinScore,
+		Recent:   make([]uint64, len(p.recent)),
+		Scores:   append([]int(nil), p.scores...),
+		Enabled:  append([]bool(nil), p.enabled...),
+		Count:    p.count,
+		Stats:    p.stats,
 	}
 	for i, l := range p.recent {
 		st.Recent[i] = uint64(l)
@@ -39,16 +47,31 @@ func (p *Prefetcher) RestoreState(data []byte) error {
 	if err := prefetch.UnmarshalState(data, &st); err != nil {
 		return err
 	}
+	if len(st.Offsets) == 0 {
+		return fmt.Errorf("multi: state has an empty offset list")
+	}
+	for _, d := range st.Offsets {
+		if d == 0 {
+			return fmt.Errorf("multi: state offset 0 is meaningless")
+		}
+	}
+	if st.MinScore < 0 {
+		return fmt.Errorf("multi: state minscore=%d must be >= 0", st.MinScore)
+	}
 	if len(st.Recent) != len(p.recent) {
 		return fmt.Errorf("multi: state recent table has %d slots, prefetcher has %d", len(st.Recent), len(p.recent))
 	}
-	if len(st.Scores) != len(p.scores) || len(st.Enabled) != len(p.enabled) {
-		return fmt.Errorf("multi: state covers %d/%d offsets, prefetcher has %d",
-			len(st.Scores), len(st.Enabled), len(p.scores))
+	if len(st.Scores) != len(st.Offsets) || len(st.Enabled) != len(st.Offsets) {
+		return fmt.Errorf("multi: state covers %d/%d audit slots for %d offsets",
+			len(st.Scores), len(st.Enabled), len(st.Offsets))
 	}
 	if st.Count < 0 || st.Count >= p.params.Period {
 		return fmt.Errorf("multi: window count %d out of range 0..%d", st.Count, p.params.Period-1)
 	}
+	p.params.Offsets = append([]int(nil), st.Offsets...)
+	p.params.MinScore = st.MinScore
+	p.scores = resizeInts(p.scores, len(st.Offsets))
+	p.enabled = resizeBools(p.enabled, len(st.Offsets))
 	for i, l := range st.Recent {
 		p.recent[i] = mem.LineAddr(l)
 	}

@@ -7,7 +7,9 @@
 package all
 
 import (
+	_ "bopsim/internal/adapt" // "adapt"
 	_ "bopsim/internal/core"  // "bo"
+	_ "bopsim/internal/duel"  // "duel"
 	_ "bopsim/internal/multi" // "multi"
 	_ "bopsim/internal/sbp"   // "sbp"
 	// "none", "nextline" and "offset" (L2) and "none" (L1) register from

@@ -42,6 +42,13 @@ type Definition[T any] struct {
 	// prefetcher can keep normalization pure, and the registryinit analyzer
 	// requires every registration to declare it explicitly.
 	Validate func(v Values) error
+	// Canonicalize, when non-nil, rewrites a parameter value to its
+	// canonical spelling before Normalize compares it against the default.
+	// It runs after Validate accepted the spec, so the value is known good.
+	// The meta-prefetchers use it to canonicalize quoted child specs, so
+	// "duel:b=multi.maxissue~4" and "duel" share one canonical form (and
+	// one sweep cache key).
+	Canonicalize func(key, value string) (string, error)
 	// Help is a one-line description for -list-pf style output.
 	Help string
 }
@@ -156,7 +163,19 @@ func (r *registry[T]) normalize(spec Spec) (Spec, error) {
 		return Spec{}, fmt.Errorf("prefetch: %s: %v", spec.Name, err)
 	}
 	out := Spec{Name: spec.Name}
-	for key, value := range spec.Params {
+	keys := make([]string, 0, len(spec.Params))
+	for key := range spec.Params {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		value := spec.Params[key]
+		if def.Canonicalize != nil {
+			value, err = def.Canonicalize(key, value)
+			if err != nil {
+				return Spec{}, fmt.Errorf("prefetch: %s: %s=%q: %v", spec.Name, key, spec.Params[key], err)
+			}
+		}
 		if def.Defaults[key] == value {
 			continue // spelled-out default: drop for a stable canonical form
 		}

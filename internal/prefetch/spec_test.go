@@ -122,6 +122,13 @@ func FuzzParseSpec(f *testing.F) {
 		"bo", "nextline", "offset:d=4", "bo:badscore=5,rr=64",
 		"multi:offsets=1+2+8,period=128", "BO:BadScore=5", "  bo : rr = 64 ",
 		"bo:", ":d=1", "a=b", "x:y=z,,", "offset:d=-3", "s t r",
+		// Meta-prefetcher specs with quoted nested sub-specs: the stand-in
+		// characters '.', '~' and ';' are ordinary value bytes to ParseSpec.
+		"duel:a=bo,b=multi",
+		"duel:a=bo.degree~2,b=multi.offsets~1+2+8;minscore~6,period=4096",
+		"adapt:base=bo.badscore~3,window=8192",
+		"adapt:base=multi,key=minscore,levels=48+24+12+6",
+		"duel:a=.~;", "duel:a=bo.b~", "adapt:base=~~..;;",
 	} {
 		f.Add(seed)
 	}

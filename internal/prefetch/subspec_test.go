@@ -1,0 +1,63 @@
+package prefetch
+
+import "testing"
+
+// TestSubSpecRoundTrip checks the quoting substitution is reversible: quote
+// -> parse yields the original spec, for bare names and parameterized specs.
+func TestSubSpecRoundTrip(t *testing.T) {
+	for _, raw := range []string{
+		"bo",
+		"offset:d=4",
+		"bo:badscore=5,degree=2,rr=64",
+		"multi:minscore=6,offsets=1+2+-8",
+	} {
+		sp := MustSpec(raw)
+		q, err := QuoteSubSpec(sp)
+		if err != nil {
+			t.Errorf("QuoteSubSpec(%q): %v", raw, err)
+			continue
+		}
+		back, err := ParseSubSpec(q)
+		if err != nil {
+			t.Errorf("ParseSubSpec(%q): %v", q, err)
+			continue
+		}
+		if !back.Equal(sp) {
+			t.Errorf("round trip %q -> %q -> %q", raw, q, back.String())
+		}
+	}
+}
+
+// TestQuoteSubSpecSpelling pins the substitution itself: ':' '.', '=' '~',
+// ',' ';'.
+func TestQuoteSubSpecSpelling(t *testing.T) {
+	q, err := QuoteSubSpec(MustSpec("multi:minscore=6,offsets=1+2+8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "multi.minscore~6;offsets~1+2+8"; q != want {
+		t.Errorf("QuoteSubSpec = %q, want %q", q, want)
+	}
+}
+
+// TestParseSubSpecAcceptsBareName checks the unquoted spelling works when
+// there is nothing to unquote.
+func TestParseSubSpecAcceptsBareName(t *testing.T) {
+	sp, err := ParseSubSpec("bo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "bo" || len(sp.Params) != 0 {
+		t.Errorf("ParseSubSpec(bo) = %+v", sp)
+	}
+}
+
+// TestParseSubSpecRejections checks malformed quoted specs error instead of
+// parsing into something surprising.
+func TestParseSubSpecRejections(t *testing.T) {
+	for _, bad := range []string{"", "bo.d~", "bo.~2", ".d~1", "bo.d~1;", "~"} {
+		if _, err := ParseSubSpec(bad); err == nil {
+			t.Errorf("ParseSubSpec(%q) accepted", bad)
+		}
+	}
+}
