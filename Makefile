@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt bovet
+.PHONY: all build test race lint fmt bovet schema-lock
 
 all: build lint test
 
@@ -17,15 +17,24 @@ race:
 	$(GO) test -race ./...
 
 # lint runs the stock gates plus bovet, the repo's own analyzer suite
-# (internal/analysis): nondeterm, statecodec, hotalloc, registryinit — see
-# DESIGN.md "Static invariants". staticcheck and govulncheck additionally
-# run in CI at pinned versions; run them locally if installed.
+# (internal/analysis): nondeterm, statecodec, hotalloc, registryinit,
+# schemalock, sigcomplete, deadallow — see DESIGN.md "Static invariants".
+# staticcheck and govulncheck additionally run in CI at pinned versions; run
+# them locally if installed.
 lint: fmt
 	$(GO) vet ./...
 	$(GO) run ./cmd/bovet ./...
 
 bovet:
 	$(GO) run ./cmd/bovet ./...
+
+# schema-lock regenerates internal/analysis/schemalock/schema.lock from the
+# current tree after a reviewed layout change. The generator refuses to run
+# when a governed layout changed without its version constant
+# (engine.SnapshotVersion, distrib.ProtocolVersion, or the result-cache
+# version) being bumped first — bump, regenerate, commit both.
+schema-lock:
+	$(GO) run ./cmd/bovet -write-schema-lock ./...
 
 fmt:
 	@unformatted=$$(gofmt -l .); \

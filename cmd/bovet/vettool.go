@@ -18,10 +18,14 @@ import (
 
 // The go vet driver protocol (x/tools' "unitchecker" protocol): the go
 // command invokes the tool once per package with a JSON config file naming
-// the package's sources and the export data of every dependency, expects a
-// facts file to be written to VetxOutput, and treats exit status 2 as
-// "diagnostics found". bovet carries no cross-package facts, so the facts
-// file is empty — but it must exist or the build system errors.
+// the package's sources, the export data of every dependency, and — via
+// PackageVetx — the fact files earlier invocations wrote for those
+// dependencies. The tool must write this package's facts to VetxOutput
+// (the file must exist even when empty, or the build system errors), and
+// exit status 2 means "diagnostics found". Facts ride the same gob
+// encoding as the standalone runner's cache, so cross-package taint works
+// identically under `go vet -vettool=` and `bovet ./...`; the go command's
+// own build cache takes the place of bovet's content-addressed fact cache.
 
 // vetConfig mirrors the subset of the config the go command writes that
 // bovet consumes.
@@ -32,6 +36,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -48,14 +53,24 @@ func runVetTool(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "bovet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	writeVetx := func(blob []byte) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, "bovet:", err)
+			return false
+		}
+		return true
+	}
+	// Facts are only computed for this module's packages; for anything else
+	// (the standard library, should the driver ask) an empty fact file
+	// satisfies the protocol without running anything.
+	if !analysis.ModulePackage(cfg.ImportPath) {
+		if !writeVetx(nil) {
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0 // dependency pass: only facts wanted, and bovet has none
+		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -79,7 +94,10 @@ func runVetTool(cfgPath string) int {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return 0 // external _test package: nothing but test files
+		if !writeVetx(nil) {
+			return 1 // external _test package: nothing but test files
+		}
+		return 0
 	}
 
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -103,6 +121,27 @@ func runVetTool(cfgPath string) int {
 		return 1
 	}
 
+	runner := &analysis.Runner{Suite: suite, Known: suite}
+	// Seed dependency facts from the files earlier invocations wrote. The
+	// driver lists every dependency; only module packages ever have
+	// non-empty blobs.
+	for dep, vetx := range cfg.PackageVetx {
+		if canonical, ok := cfg.ImportMap[dep]; ok {
+			dep = canonical
+		}
+		if !analysis.ModulePackage(dep) {
+			continue
+		}
+		blob, err := os.ReadFile(vetx)
+		if err != nil || len(blob) == 0 {
+			continue
+		}
+		if err := runner.ImportFacts(dep, blob); err != nil {
+			fmt.Fprintf(os.Stderr, "bovet: reading facts of %s: %v\n", dep, err)
+			return 1
+		}
+	}
+
 	pkg := &analysis.Package{
 		PkgPath: cfg.ImportPath,
 		Dir:     cfg.Dir,
@@ -110,10 +149,22 @@ func runVetTool(cfgPath string) int {
 		Files:   files,
 		Types:   tpkg,
 		Info:    info,
+		// A VetxOnly invocation is the driver's dependency pass: facts
+		// wanted, diagnostics not. DepOnly makes the runner behave exactly
+		// like it does for dependencies of a standalone run.
+		DepOnly: cfg.VetxOnly,
 	}
-	findings, err := analysis.Run([]*analysis.Package{pkg}, suite)
+	findings, err := runner.Run([]*analysis.Package{pkg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bovet:", err)
+		return 1
+	}
+	blob, err := runner.ExportedFacts(cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bovet:", err)
+		return 1
+	}
+	if !writeVetx(blob) {
 		return 1
 	}
 	for _, f := range findings {

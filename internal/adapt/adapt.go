@@ -256,6 +256,8 @@ func (p *Prefetcher) OnAccess(a prefetch.AccessInfo) []mem.LineAddr {
 
 // OnFill implements prefetch.L2Prefetcher: mark prefetch fills for later
 // accuracy scoring and deliver the fill to the base.
+//
+//bovet:hotpath
 func (p *Prefetcher) OnFill(line mem.LineAddr, wasPrefetch bool) {
 	if wasPrefetch {
 		p.marks[uint64(line)&p.mask] = line + 1

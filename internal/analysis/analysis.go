@@ -1,31 +1,45 @@
 // Package analysis is a self-contained static-analysis framework for the
 // bovet analyzer suite (cmd/bovet). It mirrors the shape of the
-// golang.org/x/tools/go/analysis API — Analyzer, Pass, Diagnostic — but is
-// built purely on the standard library's go/ast and go/types, because this
-// module deliberately has no third-party dependencies.
+// golang.org/x/tools/go/analysis API — Analyzer, Pass, Diagnostic, Fact —
+// but is built purely on the standard library's go/ast and go/types,
+// because this module deliberately has no third-party dependencies.
 //
-// The suite mechanically enforces the three invariants every result in this
+// The suite mechanically enforces the invariants every result in this
 // repo rests on (see DESIGN.md "Static invariants"):
 //
 //   - nondeterm:     result paths must not consult wall clocks, global
-//     randomness, the environment, or unsorted map iteration order.
+//     randomness, the environment, or unsorted map iteration order —
+//     directly, or through a call into another package that does.
 //   - statecodec:    every mutable field of a SaveState/RestoreState type
 //     must round-trip through its codec methods.
 //   - hotalloc:      functions on a //bovet:hotpath must not contain
-//     allocation sites.
+//     allocation sites, nor call cross-package functions that do.
 //   - registryinit:  prefetcher/workload registration happens only from
 //     init functions of internal packages, with complete Definitions.
+//   - schemalock:    the serialized field-set of every checkpoint payload
+//     and wire struct matches the committed schema.lock, and schema
+//     changes bump the governing version constant.
+//   - sigcomplete:   every outcome-affecting engine.Options field is
+//     visible to experiments.OptionsHash and consulted by WarmupSignature.
+//   - deadallow:     every //bovet:allow directive suppressed at least one
+//     diagnostic this run; stale exceptions are findings themselves.
 //
 // Justified exceptions are annotated in source with
 // "//bovet:allow <analyzer>[,<analyzer>] <reason>"; the reason is
-// mandatory (see directives.go).
+// mandatory (see directives.go). Cross-package reasoning rides the facts
+// layer (facts.go): packages are analyzed in dependency order and each
+// pass may export facts about its objects that downstream passes import.
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
+	"path/filepath"
 )
 
 // Analyzer describes one static check. Run is invoked once per loaded
@@ -38,6 +52,10 @@ type Analyzer struct {
 	Doc string
 	// Run performs the analysis on one package.
 	Run func(*Pass) error
+	// FactTypes lists prototype values (pointer types) of every Fact this
+	// analyzer exports or imports. Facts of unlisted types are rejected at
+	// export and never decode.
+	FactTypes []Fact
 }
 
 // Pass carries one package's syntax and type information to an Analyzer.
@@ -49,6 +67,8 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *factStore
+	allows *allowSet
 }
 
 // Diagnostic is one finding at one source position.
@@ -65,10 +85,77 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ExportObjectFact states fact about obj, which must be declared in the
+// package under analysis. Downstream packages that can reference obj
+// retrieve it with ImportObjectFact. Objects invisible across package
+// boundaries (locals, fields) are silently unkeyable and the fact is
+// retained for same-package importers only if keyable.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact on object of another package", p.Analyzer.Name))
+	}
+	p.checkFactType(f)
+	if key := ObjectKey(obj); key != "" {
+		p.facts.put(p.Pkg.Path(), key, f)
+	}
+}
+
+// ImportObjectFact copies the fact of fptr's concrete type previously
+// exported about obj into fptr and reports whether one exists. obj may
+// belong to any package analyzed earlier in the run (or whose facts were
+// supplied by the vet driver), including the current one.
+func (p *Pass) ImportObjectFact(obj types.Object, fptr Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p.checkFactType(fptr)
+	key := ObjectKey(obj)
+	if key == "" {
+		return false
+	}
+	return p.facts.get(obj.Pkg().Path(), key, fptr)
+}
+
+// ExportPackageFact states fact about the package under analysis as a
+// whole.
+func (p *Pass) ExportPackageFact(f Fact) {
+	p.checkFactType(f)
+	p.facts.put(p.Pkg.Path(), "", f)
+}
+
+// ImportPackageFact copies the package-level fact of fptr's concrete type
+// exported by pkgPath into fptr and reports whether one exists.
+func (p *Pass) ImportPackageFact(pkgPath string, fptr Fact) bool {
+	p.checkFactType(fptr)
+	return p.facts.get(pkgPath, "", fptr)
+}
+
+func (p *Pass) checkFactType(f Fact) {
+	for _, proto := range p.Analyzer.FactTypes {
+		if fmt.Sprintf("%T", proto) == fmt.Sprintf("%T", f) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", p.Analyzer.Name, f))
+}
+
+// Allowed reports whether a //bovet:allow directive for this pass's
+// analyzer covers pos. Analyzers consult it while computing facts, so a
+// justified exception stops taint from propagating to callers, not just
+// the local diagnostic. A hit counts as using the directive for the
+// deadallow inventory.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allows == nil {
+		return false
+	}
+	return p.allows.suppresses(p.Analyzer.Name, p.Fset.Position(pos))
+}
+
 // Finding is a resolved diagnostic: an analyzer name plus a concrete file
 // position, ready to print or compare.
 type Finding struct {
 	Analyzer string
+	Pkg      string // import path of the package the finding is in
 	Posn     token.Position
 	Message  string
 }
@@ -85,46 +172,292 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	// SrcFiles are the absolute paths of the parsed source files; their
+	// content participates in the fact-cache address.
+	SrcFiles []string
+	// Export is the compiler export data file, when the loader compiled
+	// one; its content participates in the fact-cache address.
+	Export string
+	// Imports lists the package's direct imports (import paths).
+	Imports []string
+	// DepOnly marks a module dependency loaded solely so its facts are
+	// available to the target packages: analyzers run on it to compute
+	// facts, but its diagnostics are not reported (it is not part of what
+	// the user asked to check; running bovet on it directly reports them).
+	DepOnly bool
 }
 
-// Run applies every analyzer to every package and returns the surviving
-// findings sorted by position: //bovet:allow-suppressed diagnostics are
-// dropped, and malformed or unknown-name directives are themselves reported
-// under the pseudo-analyzer "bovet" (a typoed directive must not silently
-// fail to suppress).
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+// Runner executes a suite over packages in dependency order, threading
+// facts from each package to its importers.
+type Runner struct {
+	// Suite is the active analyzers, in execution order.
+	Suite []*Analyzer
+	// Known lists every analyzer name valid in //bovet:allow directives.
+	// Defaults to Suite; cmd/bovet passes the full suite here when -analyzers
+	// narrows the active set, so a directive naming an unselected analyzer
+	// is not misreported as unknown.
+	Known []*Analyzer
+	// FactDir, when non-empty, is the content-addressed fact cache: one
+	// gob blob per dependency package, named by the SHA-256 of its export
+	// data, sources, dependency facts and the suite's fact version. A
+	// cache hit skips re-running analyzers on that dependency entirely.
+	FactDir string
+
+	store     *factStore
+	factHash  map[string]string // pkg path -> hex address of its fact blob
+	suiteSalt string
+}
+
+func (r *Runner) init() {
+	if r.store != nil {
+		return
+	}
+	r.store = newFactStore()
+	r.factHash = make(map[string]string)
+	if r.Known == nil {
+		r.Known = r.Suite
+	}
+	RegisterFactTypes(r.Suite)
+	h := sha256.New()
+	fmt.Fprintf(h, "bovet facts v%d", factsVersion)
+	for _, a := range r.Suite {
+		fmt.Fprintf(h, " %s", a.Name)
+	}
+	r.suiteSalt = hex.EncodeToString(h.Sum(nil))
+}
+
+// ImportFacts seeds the store with a package's previously exported fact
+// blob — the vet driver path, where the go command supplies dependency
+// facts through the .cfg's PackageVetx table.
+func (r *Runner) ImportFacts(pkgPath string, blob []byte) error {
+	r.init()
+	return r.store.decodePackage(pkgPath, blob)
+}
+
+// ExportedFacts returns the encoded facts of one analyzed package, for
+// the vet driver to store at VetxOutput.
+func (r *Runner) ExportedFacts(pkgPath string) ([]byte, error) {
+	r.init()
+	return r.store.encodePackage(pkgPath)
+}
+
+// Run applies the suite to every package — dependencies first, so facts
+// flow to importers — and returns the surviving findings of the target
+// (non-DepOnly) packages sorted by (package, file, line, column,
+// analyzer). //bovet:allow-suppressed diagnostics are dropped; malformed
+// or unknown-name directives are themselves reported under the
+// pseudo-analyzer "bovet" (a typoed directive must not silently fail to
+// suppress); and when the active suite includes deadallow, every allow
+// directive that suppressed nothing is reported at its own position.
+func (r *Runner) Run(pkgs []*Package) ([]Finding, error) {
+	r.init()
 	var findings []Finding
 	for _, pkg := range pkgs {
-		allows, bad := parseAllows(pkg.Fset, pkg.Files, analyzers)
-		findings = append(findings, bad...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			pass.report = func(d Diagnostic) {
-				posn := pkg.Fset.Position(d.Pos)
-				if allows.suppresses(a.Name, posn) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: a.Name, Posn: posn, Message: d.Message})
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.PkgPath, err)
-			}
+		fs, err := r.runPackage(pkg)
+		if err != nil {
+			return nil, err
 		}
+		findings = append(findings, fs...)
 	}
 	sortFindings(findings)
 	return findings, nil
 }
 
+func (r *Runner) runPackage(pkg *Package) ([]Finding, error) {
+	if pkg.DepOnly {
+		if hit, err := r.loadCachedFacts(pkg); err != nil {
+			return nil, err
+		} else if hit {
+			return nil, nil
+		}
+	}
+	allows, bad := parseAllows(pkg.Fset, pkg.Files, r.Known)
+	var findings []Finding
+	if !pkg.DepOnly {
+		findings = append(findings, bad...)
+	}
+	for _, a := range r.Suite {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			facts:     r.store,
+			allows:    allows,
+		}
+		pass.report = func(d Diagnostic) {
+			posn := pkg.Fset.Position(d.Pos)
+			if allows.suppresses(a.Name, posn) {
+				return
+			}
+			if !pkg.DepOnly {
+				findings = append(findings, Finding{Analyzer: a.Name, Pkg: pkg.PkgPath, Posn: posn, Message: d.Message})
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	if !pkg.DepOnly {
+		findings = append(findings, deadAllows(pkg, allows, r.Suite)...)
+	}
+	if err := r.storeFacts(pkg); err != nil {
+		return nil, err
+	}
+	return findings, nil
+}
+
+// deadAllows reports every allow directive that suppressed no diagnostic,
+// provided the active suite includes the deadallow analyzer and every
+// analyzer the directive names actually ran (an allow for an unselected
+// analyzer cannot be judged dead this run).
+func deadAllows(pkg *Package, allows *allowSet, suite []*Analyzer) []Finding {
+	active := make(map[string]bool, len(suite))
+	hasDeadallow := false
+	for _, a := range suite {
+		active[a.Name] = true
+		if a.Name == DeadallowName {
+			hasDeadallow = true
+		}
+	}
+	if !hasDeadallow {
+		return nil
+	}
+	var out []Finding
+	for _, e := range allows.entries {
+		if e.used {
+			continue
+		}
+		judgeable := true
+		for _, name := range e.names {
+			if !active[name] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: DeadallowName,
+			Pkg:      pkg.PkgPath,
+			Posn:     pkg.Fset.Position(e.pos),
+			Message: fmt.Sprintf("//bovet:allow %s suppressed no diagnostic this run; the exception is stale — remove it or fix the code it used to excuse",
+				e.spelling),
+		})
+	}
+	return out
+}
+
+// DeadallowName is the deadallow analyzer's registered name; the Run
+// machinery keys its special post-pass on it (the check needs the usage
+// ledger of every other analyzer, so it cannot be an ordinary per-package
+// pass).
+const DeadallowName = "deadallow"
+
+// loadCachedFacts serves a dependency's facts from the content-addressed
+// cache. A hit requires the address — export data, sources, dependency
+// facts, suite version — to match exactly, so facts are recomputed
+// whenever anything that could change them does.
+func (r *Runner) loadCachedFacts(pkg *Package) (bool, error) {
+	if r.FactDir == "" {
+		return false, nil
+	}
+	addr, err := r.factAddress(pkg)
+	if err != nil || addr == "" {
+		return false, err
+	}
+	blob, err := os.ReadFile(filepath.Join(r.FactDir, addr+".facts"))
+	if err != nil {
+		return false, nil // miss
+	}
+	if err := r.store.decodePackage(pkg.PkgPath, blob); err != nil {
+		return false, nil // corrupt entry: recompute
+	}
+	sum := sha256.Sum256(blob)
+	r.factHash[pkg.PkgPath] = hex.EncodeToString(sum[:])
+	return true, nil
+}
+
+// storeFacts records the package's fact-blob hash for downstream
+// addresses and, for module packages with a cache configured, persists
+// the blob under its content address.
+func (r *Runner) storeFacts(pkg *Package) error {
+	blob, err := r.store.encodePackage(pkg.PkgPath)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(blob)
+	r.factHash[pkg.PkgPath] = hex.EncodeToString(sum[:])
+	if r.FactDir == "" || !ModulePackage(pkg.PkgPath) {
+		return nil
+	}
+	addr, err := r.factAddress(pkg)
+	if err != nil || addr == "" {
+		return err
+	}
+	if err := os.MkdirAll(r.FactDir, 0o755); err != nil {
+		return nil // cache is best-effort
+	}
+	tmp := filepath.Join(r.FactDir, addr+".facts.tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return nil
+	}
+	_ = os.Rename(tmp, filepath.Join(r.FactDir, addr+".facts"))
+	return nil
+}
+
+// factAddress computes the content address of a package's facts: the
+// suite salt, the compiler export data, every source file, and the fact
+// hashes of its direct module imports. Returns "" when an input cannot be
+// read (the cache is then skipped for this package).
+func (r *Runner) factAddress(pkg *Package) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", r.suiteSalt, pkg.PkgPath)
+	if pkg.Export != "" {
+		b, err := os.ReadFile(pkg.Export)
+		if err != nil {
+			return "", nil
+		}
+		h.Write(b)
+	}
+	for _, src := range pkg.SrcFiles {
+		b, err := os.ReadFile(src)
+		if err != nil {
+			return "", nil
+		}
+		fmt.Fprintf(h, "src %s %d\n", filepath.Base(src), len(b))
+		h.Write(b)
+	}
+	for _, imp := range pkg.Imports {
+		if !ModulePackage(imp) {
+			continue
+		}
+		dep, ok := r.factHash[imp]
+		if !ok {
+			return "", nil // dep facts unknown: cannot address soundly
+		}
+		fmt.Fprintf(h, "dep %s %s\n", imp, dep)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Run applies every analyzer to every package with a fresh Runner and no
+// fact cache. Packages must be in dependency order when analyzers use
+// facts; the loader returns them that way.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	return (&Runner{Suite: analyzers}).Run(pkgs)
+}
+
 func sortFindings(fs []Finding) {
-	// Position order makes output byte-stable across runs regardless of
+	// (package, file, line, column, analyzer) order makes output — and the
+	// CI `bovet -json` artifact — byte-stable across runs regardless of
 	// package load order; the suite practices the determinism it preaches.
 	less := func(a, b Finding) bool {
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
 		if a.Posn.Filename != b.Posn.Filename {
 			return a.Posn.Filename < b.Posn.Filename
 		}

@@ -37,6 +37,17 @@ import (
 // every mismatch between findings and want comments as a test error.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
+	RunSuite(t, testdata, []*analysis.Analyzer{a}, nil, patterns...)
+}
+
+// RunSuite is Run for a whole analyzer suite sharing one pass over the
+// fixtures — what deadallow needs (it judges the other analyzers' allow
+// ledger) and what any cross-analyzer interaction test needs. known, when
+// non-nil, is the set of analyzer names //bovet:allow directives may cite
+// without being flagged as unknown; it lets a fixture carry a directive for
+// an analyzer that is deliberately not active this run.
+func RunSuite(t *testing.T, testdata string, suite, known []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -52,9 +63,10 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string
 	if len(pkgs) == 0 {
 		t.Fatalf("no fixture packages under %s match %v", dir, patterns)
 	}
-	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	runner := &analysis.Runner{Suite: suite, Known: known}
+	findings, err := runner.Run(pkgs)
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		t.Fatalf("running suite: %v", err)
 	}
 
 	wants := collectWants(t, fset, pkgs)
@@ -105,10 +117,16 @@ func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) *
 		for _, file := range pkg.Files {
 			for _, group := range file.Comments {
 				for _, c := range group.List {
-					text, ok := strings.CutPrefix(c.Text, "// want ")
-					if !ok {
+					// The marker may open the comment or trail other text:
+					// a //bovet:allow directive occupies its whole line, so
+					// a deadallow fixture embeds the expectation for the
+					// finding reported *on the directive itself* after the
+					// directive's reason.
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
 						continue
 					}
+					text := c.Text[idx+len("// want "):]
 					posn := fset.Position(c.Pos())
 					for _, lit := range stringLiterals(text) {
 						pattern, err := strconv.Unquote(lit)

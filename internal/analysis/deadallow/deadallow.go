@@ -1,0 +1,29 @@
+// Package deadallow turns the //bovet:allow inventory into a checked
+// artifact. An allow directive is a reviewed exception: "this line
+// violates analyzer X for this stated reason". When the offending code is
+// later fixed or deleted but the directive survives, the exception is
+// documentation of a violation that no longer exists — and worse, it is a
+// pre-approved mute for the next, unrelated violation that lands on that
+// line. deadallow reports every allow directive that suppressed no
+// diagnostic (and was never consulted by an analyzer's Allowed query)
+// during the run, so the inventory can only shrink to match reality.
+//
+// The check needs the usage ledger of every other analyzer after they have
+// all run, so it cannot be an ordinary per-package pass: the framework
+// (analysis.Runner) performs it as a post-pass keyed on this analyzer's
+// presence in the active suite. Selecting `-analyzers deadallow` alone is
+// meaningful only together with the analyzers whose directives should be
+// judged; the Runner therefore only judges a directive when every analyzer
+// it names was active this run.
+package deadallow
+
+import "bopsim/internal/analysis"
+
+// Analyzer is the deadallow pass. Run is a no-op: the real work happens in
+// the framework's post-pass (see analysis.DeadallowName), which has access
+// to the cross-analyzer allow-usage ledger a Pass does not.
+var Analyzer = &analysis.Analyzer{
+	Name: analysis.DeadallowName,
+	Doc:  "report //bovet:allow directives that suppressed no diagnostic this run; stale exceptions are findings",
+	Run:  func(*analysis.Pass) error { return nil },
+}

@@ -1,0 +1,20 @@
+package deadallow_test
+
+import (
+	"testing"
+
+	"bopsim/internal/analysis"
+	"bopsim/internal/analysis/analysistest"
+	"bopsim/internal/analysis/deadallow"
+	"bopsim/internal/analysis/hotalloc"
+	"bopsim/internal/analysis/nondeterm"
+)
+
+// TestDeadallow judges the fixture's allow inventory with nondeterm active
+// and hotalloc merely known: the consulted directive survives, the stale
+// one is a finding, and the hotalloc one cannot be judged this run.
+func TestDeadallow(t *testing.T) {
+	suite := []*analysis.Analyzer{nondeterm.Analyzer, deadallow.Analyzer}
+	known := []*analysis.Analyzer{nondeterm.Analyzer, hotalloc.Analyzer, deadallow.Analyzer}
+	analysistest.RunSuite(t, "testdata", suite, known)
+}

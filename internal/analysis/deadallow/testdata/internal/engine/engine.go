@@ -1,0 +1,29 @@
+// Package engine exercises the three fates of a //bovet:allow directive
+// under deadallow: consulted (live), never consulted (dead — the finding is
+// reported on the directive itself), and naming an analyzer that is not in
+// the active suite (unjudgeable, so silent). The test runs the suite
+// [nondeterm, deadallow] with hotalloc merely known.
+package engine
+
+import "time"
+
+// Stamp carries a live allow: the directive suppresses a real nondeterm
+// finding, so it is used and not dead.
+func Stamp() int64 {
+	//bovet:allow nondeterm fixture: proves a consulted directive is not reported dead
+	return time.Now().Unix()
+}
+
+// Pure carries a dead allow: the line below violates nothing, so the
+// exception is stale and the finding lands on the directive's own line.
+func Pure(a, b int) int {
+	//bovet:allow nondeterm fixture: stale, nothing here is ambient // want `//bovet:allow nondeterm suppressed no diagnostic this run`
+	return a + b
+}
+
+// Unjudged carries an allow for an analyzer that is known but not active
+// this run: it cannot be judged dead, so it is silent.
+func Unjudged(n int) []int {
+	//bovet:allow hotalloc fixture: hotalloc is deliberately not in the active suite
+	return make([]int, n)
+}

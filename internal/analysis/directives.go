@@ -11,66 +11,108 @@ import (
 //	//bovet:hotpath
 //	    On a function declaration's doc comment: marks the function a
 //	    hot-loop root for the hotalloc analyzer. Everything statically
-//	    reachable from it inside the same package must be allocation-free.
+//	    reachable from it — same-package calls followed directly,
+//	    cross-package calls through their Allocates facts — must be
+//	    allocation-free.
+//
+//	//bovet:schemalock
+//	    On a struct type declaration's doc comment: locks the struct's
+//	    serialized field-set into schema.lock for the schemalock analyzer,
+//	    in addition to the codec payload structs it discovers on its own.
 //
 //	//bovet:allow <analyzer>[,<analyzer>] <reason>
 //	    On (or on the line directly above) an offending line: suppresses the
 //	    named analyzers' diagnostics for that line. The reason is mandatory —
 //	    an allow is a reviewed, justified exception, not a mute button — and
 //	    a malformed or unknown-analyzer directive is itself reported, so a
-//	    typo cannot silently fail to suppress.
+//	    typo cannot silently fail to suppress. A directive that suppresses
+//	    nothing is reported by the deadallow analyzer, so the allow
+//	    inventory cannot rot.
 //
 // Like go:build and go:generate, the directives use the no-space
 // comment form ("//bovet:...") so gofmt leaves them alone.
 
 const (
-	allowPrefix   = "//bovet:allow"
-	hotpathMarker = "//bovet:hotpath"
-	anyPrefix     = "//bovet:"
+	allowPrefix      = "//bovet:allow"
+	hotpathMarker    = "//bovet:hotpath"
+	schemalockMarker = "//bovet:schemalock"
+	anyPrefix        = "//bovet:"
 )
 
 // HasHotpathDirective reports whether the function declaration is annotated
 // as a hot-loop root.
 func HasHotpathDirective(decl *ast.FuncDecl) bool {
-	if decl.Doc == nil {
+	return docHasMarker(decl.Doc, hotpathMarker)
+}
+
+// HasSchemalockDirective reports whether the doc comment group carries the
+// schema-lock marker (on a GenDecl or TypeSpec doc).
+func HasSchemalockDirective(doc *ast.CommentGroup) bool {
+	return docHasMarker(doc, schemalockMarker)
+}
+
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
 		return false
 	}
-	for _, c := range decl.Doc.List {
-		if c.Text == hotpathMarker || strings.HasPrefix(c.Text, hotpathMarker+" ") {
+	for _, c := range doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
 			return true
 		}
 	}
 	return false
 }
 
-// allowSet records which analyzers are suppressed on which lines.
-type allowSet map[fileLine]map[string]bool
+// allowEntry is one parsed //bovet:allow directive.
+type allowEntry struct {
+	pos      token.Pos
+	names    []string
+	spelling string // the analyzer list as written, for messages
+	used     bool   // suppressed at least one diagnostic or Allowed query
+}
 
 type fileLine struct {
 	file string
 	line int
 }
 
+// allowSet records which analyzers are suppressed on which lines and
+// tracks which directives earned their keep.
+type allowSet struct {
+	byLine  map[fileLine][]*allowEntry
+	entries []*allowEntry // file order, for deterministic deadallow output
+}
+
 // suppresses reports whether an allow directive for the analyzer covers the
-// diagnostic position: same line, or the line directly above (a standalone
-// directive comment).
-func (s allowSet) suppresses(analyzer string, posn token.Position) bool {
-	if s[fileLine{posn.Filename, posn.Line}][analyzer] {
-		return true
+// diagnostic position — same line, or the line directly above (a standalone
+// directive comment) — and marks the covering directive used.
+func (s *allowSet) suppresses(analyzer string, posn token.Position) bool {
+	if s == nil {
+		return false
 	}
-	return s[fileLine{posn.Filename, posn.Line - 1}][analyzer]
+	for _, key := range []fileLine{{posn.Filename, posn.Line}, {posn.Filename, posn.Line - 1}} {
+		for _, e := range s.byLine[key] {
+			for _, name := range e.names {
+				if name == analyzer {
+					e.used = true
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // parseAllows extracts every //bovet: directive from the files. Malformed
 // directives — unknown verb, unknown analyzer name, missing reason — come
 // back as findings under the pseudo-analyzer "bovet"; those are never
 // suppressible.
-func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (allowSet, []Finding) {
+func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (*allowSet, []Finding) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	allows := make(allowSet)
+	allows := &allowSet{byLine: make(map[fileLine][]*allowEntry)}
 	var bad []Finding
 	report := func(pos token.Pos, msg string) {
 		bad = append(bad, Finding{Analyzer: "bovet", Posn: fset.Position(pos), Message: msg})
@@ -82,10 +124,12 @@ func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) 
 				case c.Text == hotpathMarker, strings.HasPrefix(c.Text, hotpathMarker+" "):
 					// Validated where it is consumed (hotalloc); nothing to
 					// record here.
+				case c.Text == schemalockMarker, strings.HasPrefix(c.Text, schemalockMarker+" "):
+					// Consumed by schemalock via HasSchemalockDirective.
 				case strings.HasPrefix(c.Text, allowPrefix):
 					parseAllow(fset, c, known, allows, report)
 				case strings.HasPrefix(c.Text, anyPrefix):
-					report(c.Pos(), "unknown bovet directive "+firstWord(c.Text)+" (known: allow, hotpath)")
+					report(c.Pos(), "unknown bovet directive "+firstWord(c.Text)+" (known: allow, hotpath, schemalock)")
 				}
 			}
 		}
@@ -93,10 +137,10 @@ func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) 
 	return allows, bad
 }
 
-func parseAllow(fset *token.FileSet, c *ast.Comment, known map[string]bool, allows allowSet, report func(token.Pos, string)) {
+func parseAllow(fset *token.FileSet, c *ast.Comment, known map[string]bool, allows *allowSet, report func(token.Pos, string)) {
 	rest := strings.TrimPrefix(c.Text, allowPrefix)
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		report(c.Pos(), "unknown bovet directive "+firstWord(c.Text)+" (known: allow, hotpath)")
+		report(c.Pos(), "unknown bovet directive "+firstWord(c.Text)+" (known: allow, hotpath, schemalock)")
 		return
 	}
 	fields := strings.Fields(rest)
@@ -116,13 +160,10 @@ func parseAllow(fset *token.FileSet, c *ast.Comment, known map[string]bool, allo
 		return
 	}
 	posn := fset.Position(c.Pos())
+	entry := &allowEntry{pos: c.Pos(), names: names, spelling: fields[0]}
 	key := fileLine{posn.Filename, posn.Line}
-	if allows[key] == nil {
-		allows[key] = make(map[string]bool)
-	}
-	for _, name := range names {
-		allows[key][name] = true
-	}
+	allows.byLine[key] = append(allows.byLine[key], entry)
+	allows.entries = append(allows.entries, entry)
 }
 
 func firstWord(s string) string {

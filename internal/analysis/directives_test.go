@@ -10,7 +10,7 @@ import (
 
 // parseSrc runs parseAllows over one synthetic file with two known
 // analyzers, returning the allow set and the malformed-directive findings.
-func parseSrc(t *testing.T, src string) (allowSet, []Finding) {
+func parseSrc(t *testing.T, src string) (*allowSet, []Finding) {
 	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)

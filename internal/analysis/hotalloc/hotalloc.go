@@ -1,7 +1,7 @@
 // Package hotalloc is the static counterpart of the testing.AllocsPerRun
 // guards pinning the PR 6 zero-alloc work: in functions marked
-// //bovet:hotpath — and everything statically reachable from them inside
-// the same package — it flags allocation sites.
+// //bovet:hotpath — and everything statically reachable from them — it
+// flags allocation sites.
 //
 // Flagged: map/slice/pointer composite literals, make, new, function
 // literals (closure capture), interface boxing of non-pointer-shaped
@@ -11,16 +11,24 @@
 // destination allocates every call while self-append reaches a steady-state
 // capacity.
 //
-// Reachability is intra-package and static: calls through interfaces are
-// not followed, so a hot implementation of an interface method (a
-// prefetcher's OnAccess, a generator's Next) carries its own
-// //bovet:hotpath annotation. Cold paths that genuinely must allocate —
-// error construction on a failure branch, a growth path amortized by
-// design — carry //bovet:allow hotalloc with the justification.
+// Reachability is static: same-package calls are followed directly, and a
+// call into another module package is checked against the callee's
+// Allocates fact — every package exports, for each of its functions, the
+// allocation sites reachable from it — so a hot loop in uncore calling a
+// concrete helper in cache is checked end to end instead of stopping at
+// the package edge. Calls through interfaces are still not followed, so a
+// hot implementation of an interface method (a prefetcher's OnAccess, a
+// generator's Next) carries its own //bovet:hotpath annotation. Cold paths
+// that genuinely must allocate — error construction on a failure branch, a
+// growth path amortized by design — carry //bovet:allow hotalloc with the
+// justification, which also stops the site from entering the exported
+// fact.
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"bopsim/internal/analysis"
@@ -28,22 +36,56 @@ import (
 
 // Analyzer is the hotalloc pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotalloc",
-	Doc:  "forbid allocation sites in functions reachable from a //bovet:hotpath root",
-	Run:  run,
+	Name:      "hotalloc",
+	Doc:       "forbid allocation sites in functions reachable from a //bovet:hotpath root, across packages",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Allocates)(nil)},
+}
+
+// Allocates is exported on every function from which an allocation site is
+// statically reachable (its own body, same-package callees, or callees in
+// already-analyzed module packages), so a hot caller in another package
+// sees the allocation at its call site.
+type Allocates struct {
+	// Sites describes up to maxSites reachable allocation sites
+	// ("map literal at cache.go:41", "calls bopsim/internal/x.F ...").
+	Sites []string
+}
+
+// AFact marks Allocates as a fact type.
+func (*Allocates) AFact() {}
+
+// maxSites caps the evidence carried per function; one is enough to fail,
+// a few make the finding actionable.
+const maxSites = 3
+
+// site is one allocation site collected from a function body.
+type site struct {
+	pos token.Pos
+	msg string
+}
+
+// crossCall is a call to a module function in another package that
+// carries an Allocates fact.
+type crossCall struct {
+	pos    token.Pos
+	callee string
+	sites  []string
 }
 
 func run(pass *analysis.Pass) error {
-	decls := make(map[*types.Func]*ast.FuncDecl)
+	var decls []*ast.FuncDecl
+	byFunc := make(map[*types.Func]*ast.FuncDecl)
 	var roots []*ast.FuncDecl
 	for _, file := range pass.Files {
 		for _, d := range file.Decls {
 			fd, ok := d.(*ast.FuncDecl)
-			if !ok {
+			if !ok || fd.Body == nil {
 				continue
 			}
+			decls = append(decls, fd)
 			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
+				byFunc[fn] = fd
 			}
 			if analysis.HasHotpathDirective(fd) {
 				roots = append(roots, fd)
@@ -51,91 +93,222 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 
-	// Static intra-package reachability from the annotated roots.
+	// Per function: own allocation sites (allow-filtered), same-package
+	// call edges, and cross-package allocating callees.
+	own := make(map[*ast.FuncDecl][]site)
+	callees := make(map[*ast.FuncDecl][]*ast.FuncDecl)
+	cross := make(map[*ast.FuncDecl][]crossCall)
+	for _, fd := range decls {
+		own[fd] = collectSites(pass, fd)
+		for _, call := range callsIn(fd) {
+			fn := analysis.FuncFor(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				continue
+			}
+			if local, ok := byFunc[fn]; ok {
+				callees[fd] = append(callees[fd], local)
+				continue
+			}
+			if fn.Pkg() == pass.Pkg || !analysis.ModulePackage(fn.Pkg().Path()) {
+				continue
+			}
+			var fact Allocates
+			if pass.ImportObjectFact(fn, &fact) {
+				cross[fd] = append(cross[fd], crossCall{
+					pos:    call.Pos(),
+					callee: fn.Pkg().Path() + "." + analysis.ObjectKey(fn),
+					sites:  fact.Sites,
+				})
+			}
+		}
+	}
+
+	// Fixpoint the transitive site summary for fact export: a function
+	// inherits evidence from tainted same-package callees and from
+	// cross-package facts. Declaration order keeps the summaries stable.
+	summary := make(map[*ast.FuncDecl][]string)
+	for _, fd := range decls {
+		var sites []string
+		for _, s := range own[fd] {
+			sites = appendSite(sites, fmt.Sprintf("%s at %s", s.msg, pass.Fset.Position(s.pos)))
+		}
+		for _, cc := range cross[fd] {
+			sites = appendSite(sites, fmt.Sprintf("calls %s (%s)", cc.callee, first(cc.sites)))
+		}
+		summary[fd] = sites
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			for _, callee := range callees[fd] {
+				if len(summary[callee]) == 0 || len(summary[fd]) >= maxSites {
+					continue
+				}
+				entry := fmt.Sprintf("calls %s (%s)", declName(pass, callee), first(summary[callee]))
+				if !contains(summary[fd], entry) {
+					summary[fd] = appendSite(summary[fd], entry)
+					changed = true
+				}
+			}
+		}
+	}
+	for _, fd := range decls {
+		if len(summary[fd]) == 0 {
+			continue
+		}
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			pass.ExportObjectFact(fn, &Allocates{Sites: summary[fd]})
+		}
+	}
+
+	// Static reachability from the annotated roots: same-package calls are
+	// walked; cross-package calls were summarized into facts above.
 	hot := make(map[*ast.FuncDecl]bool)
 	var visit func(fd *ast.FuncDecl)
 	visit = func(fd *ast.FuncDecl) {
-		if fd == nil || fd.Body == nil || hot[fd] {
+		if fd == nil || hot[fd] {
 			return
 		}
 		hot[fd] = true
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if callee := analysis.FuncFor(pass.TypesInfo, call); callee != nil {
-				if next, ok := decls[callee]; ok {
-					visit(next)
-				}
-			}
-			return true
-		})
+		for _, callee := range callees[fd] {
+			visit(callee)
+		}
 	}
 	for _, fd := range roots {
 		visit(fd)
 	}
 
-	for fd := range hot {
-		checkFunc(pass, fd)
+	for _, fd := range decls {
+		if !hot[fd] {
+			continue
+		}
+		for _, s := range own[fd] {
+			pass.Reportf(s.pos, "%s", s.msg)
+		}
+		for _, cc := range cross[fd] {
+			pass.Reportf(cc.pos, "call to %s in hot path reaches an allocation: %s", cc.callee, first(cc.sites))
+		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+func appendSite(sites []string, s string) []string {
+	if len(sites) >= maxSites {
+		return sites
+	}
+	return append(sites, s)
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func first(sites []string) string {
+	if len(sites) == 0 {
+		return "allocation"
+	}
+	return sites[0]
+}
+
+func declName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		return pass.Pkg.Path() + "." + analysis.ObjectKey(fn)
+	}
+	return fd.Name.Name
+}
+
+// callsIn returns every call expression in the function body, in source
+// order, excluding those inside nested function literals (a closure's body
+// is not part of the synchronous path).
+func callsIn(fd *ast.FuncDecl) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			calls = append(calls, n)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return calls
+}
+
+// collectSites gathers the function's own allocation sites, skipping any
+// covered by a //bovet:allow hotalloc directive — an allowed cold path
+// must not taint the function's callers either.
+func collectSites(pass *analysis.Pass, fd *ast.FuncDecl) []site {
+	var sites []site
+	emit := func(pos token.Pos, format string, args ...any) {
+		if pass.Allowed(pos) {
+			return
+		}
+		sites = append(sites, site{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
 	info := pass.TypesInfo
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "function literal in hot path: closures allocate when they capture")
+			emit(n.Pos(), "function literal in hot path: closures allocate when they capture")
 			return false // its body is not part of the synchronous hot path
 		case *ast.CompositeLit:
-			checkCompositeLit(pass, n)
+			checkCompositeLit(pass, emit, n)
 		case *ast.UnaryExpr:
 			if n.Op.String() == "&" {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					pass.Reportf(n.Pos(), "&composite literal in hot path heap-allocates")
+					emit(n.Pos(), "&composite literal in hot path heap-allocates")
 				}
 			}
 		case *ast.CallExpr:
-			checkCall(pass, fd, n)
+			checkCall(pass, emit, fd, n)
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
 				if i < len(n.Lhs) {
-					checkBoxing(pass, info.TypeOf(n.Lhs[i]), rhs)
+					checkBoxing(pass, emit, info.TypeOf(n.Lhs[i]), rhs)
 				}
 			}
 		case *ast.ReturnStmt:
-			checkReturn(pass, fd, n)
+			checkReturn(pass, emit, fd, n)
 		}
 		return true
 	})
+	return sites
 }
 
-func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+// emitFunc reports one allocation site.
+type emitFunc func(pos token.Pos, format string, args ...any)
+
+func checkCompositeLit(pass *analysis.Pass, emit emitFunc, lit *ast.CompositeLit) {
 	t := pass.TypesInfo.TypeOf(lit)
 	if t == nil {
 		return
 	}
 	switch t.Underlying().(type) {
 	case *types.Map:
-		pass.Reportf(lit.Pos(), "map literal in hot path allocates")
+		emit(lit.Pos(), "map literal in hot path allocates")
 	case *types.Slice:
-		pass.Reportf(lit.Pos(), "slice literal in hot path allocates")
+		emit(lit.Pos(), "slice literal in hot path allocates")
 	}
 }
 
-func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+func checkCall(pass *analysis.Pass, emit emitFunc, fd *ast.FuncDecl, call *ast.CallExpr) {
 	info := pass.TypesInfo
 	switch {
 	case analysis.IsBuiltin(info, call, "make"):
-		pass.Reportf(call.Pos(), "make in hot path allocates; preallocate in the constructor and reuse")
+		emit(call.Pos(), "make in hot path allocates; preallocate in the constructor and reuse")
 		return
 	case analysis.IsBuiltin(info, call, "new"):
-		pass.Reportf(call.Pos(), "new in hot path allocates")
+		emit(call.Pos(), "new in hot path allocates")
 		return
 	case analysis.IsBuiltin(info, call, "append"):
-		checkAppend(pass, fd, call)
+		checkAppend(pass, emit, fd, call)
 		return
 	}
 	// Interface boxing at the call boundary: a concrete non-pointer-shaped
@@ -145,7 +318,7 @@ func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		// A type conversion T(x) with T an interface boxes too.
 		if len(call.Args) == 1 {
 			if t := conversionTarget(info, call); t != nil {
-				checkBoxing(pass, t, call.Args[0])
+				checkBoxing(pass, emit, t, call.Args[0])
 			}
 		}
 		return
@@ -162,7 +335,7 @@ func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		case i < params.Len():
 			pt = params.At(i).Type()
 		}
-		checkBoxing(pass, pt, arg)
+		checkBoxing(pass, emit, pt, arg)
 	}
 }
 
@@ -183,7 +356,7 @@ func conversionTarget(info *types.Info, call *ast.CallExpr) types.Type {
 // checkAppend allows the amortized receiver-owned scratch pattern —
 // x = append(x, ...) or x = append(x[:0], ...) with the destination spelled
 // identically — and flags every other append (fresh destination every call).
-func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+func checkAppend(pass *analysis.Pass, emit emitFunc, fd *ast.FuncDecl, call *ast.CallExpr) {
 	if len(call.Args) == 0 {
 		return
 	}
@@ -196,7 +369,17 @@ func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 			return
 		}
 	}
-	pass.Reportf(call.Pos(), "append into a fresh slice in hot path allocates every call; use the amortized self-append pattern (x = append(x[:0], ...)) on a reused buffer")
+	// The in-place splice idiom append(x[:i], x[j:]...) writes into x's own
+	// backing array: the result is never longer than x, so capacity always
+	// suffices and nothing allocates.
+	if call.Ellipsis.IsValid() && len(call.Args) == 2 {
+		dst, dok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+		src, sok := ast.Unparen(call.Args[1]).(*ast.SliceExpr)
+		if dok && sok && types.ExprString(dst.X) == types.ExprString(src.X) {
+			return
+		}
+	}
+	emit(call.Pos(), "append into a fresh slice in hot path allocates every call; use the amortized self-append pattern (x = append(x[:0], ...)) on a reused buffer")
 }
 
 // enclosingAssign returns the single LHS expression when call is the sole
@@ -218,7 +401,7 @@ func enclosingAssign(fd *ast.FuncDecl, call *ast.CallExpr) (ast.Expr, bool) {
 	return out, out != nil
 }
 
-func checkReturn(pass *analysis.Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+func checkReturn(pass *analysis.Pass, emit emitFunc, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
 	results := fd.Type.Results
 	if results == nil || len(ret.Results) == 0 {
 		return
@@ -238,7 +421,7 @@ func checkReturn(pass *analysis.Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
 		return // multi-value call forwarding; boxing happened at the callee
 	}
 	for i, expr := range ret.Results {
-		checkBoxing(pass, resultTypes[i], expr)
+		checkBoxing(pass, emit, resultTypes[i], expr)
 	}
 }
 
@@ -246,7 +429,7 @@ func checkReturn(pass *analysis.Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
 // to an interface type: the conversion heap-allocates the value's copy.
 // Pointer-shaped kinds (pointers, maps, chans, funcs, unsafe.Pointer) store
 // directly in the interface word.
-func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr) {
+func checkBoxing(pass *analysis.Pass, emit emitFunc, dst types.Type, src ast.Expr) {
 	if dst == nil {
 		return
 	}
@@ -261,6 +444,11 @@ func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr) {
 	if st == types.Typ[types.UntypedNil] {
 		return
 	}
+	if tv.Value != nil {
+		// A constant boxed into an interface is materialized as static
+		// read-only data by the compiler; no runtime allocation.
+		return
+	}
 	switch u := st.Underlying().(type) {
 	case *types.Interface:
 		return // interface-to-interface: no box
@@ -271,5 +459,5 @@ func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr) {
 			return
 		}
 	}
-	pass.Reportf(src.Pos(), "%s value boxed into interface %s in hot path allocates; pass a pointer or keep the call off the hot path", st, dst)
+	emit(src.Pos(), "%s value boxed into interface %s in hot path allocates; pass a pointer or keep the call off the hot path", st, dst)
 }

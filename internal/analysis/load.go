@@ -23,6 +23,14 @@ import (
 // type-checked against that export data (the same mechanism go/packages
 // uses underneath). Works fully offline — the module has no third-party
 // dependencies to fetch.
+//
+// For the facts layer, module dependencies of the targets are loaded too
+// (parsed and type-checked from source, marked DepOnly): their facts must
+// exist before an importer is analyzed, and compiler export data carries
+// types but not the syntax facts are computed from. `go list -deps` emits
+// dependencies before importers, so the returned slice is already in the
+// dependency order Runner.Run requires. The Runner's content-addressed
+// fact cache makes repeat visits to unchanged dependencies free.
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
@@ -31,33 +39,37 @@ type listedPackage struct {
 	Export     string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
 
 // Load lists patterns with the go command, type-checks every matched
-// package, and returns them ready for Run. Dependencies (including the
-// standard library) are resolved from compiler export data, so only the
-// target packages themselves are parsed.
+// package plus the module dependencies facts flow through, and returns
+// them in dependency order, ready for Run. Non-module dependencies
+// (the standard library) are resolved from compiler export data only.
 func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string, len(listed))
-	var targets []*listedPackage
+	var wanted []*listedPackage
 	for _, lp := range listed {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if lp.DepOnly {
-			continue
+		if lp.DepOnly && (lp.Standard || !ModulePackage(lp.ImportPath)) {
+			continue // facts are only computed for module packages
 		}
 		if lp.Error != nil {
+			if lp.DepOnly {
+				continue
+			}
 			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		targets = append(targets, lp)
+		wanted = append(wanted, lp)
 	}
 
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -69,7 +81,7 @@ func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error
 	})
 
 	var pkgs []*Package
-	for _, lp := range targets {
+	for _, lp := range wanted {
 		pkg, err := typeCheck(fset, imp, lp)
 		if err != nil {
 			return nil, err
@@ -106,12 +118,15 @@ func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 		return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
 	}
 	var files []*ast.File
+	var srcs []string
 	for _, name := range lp.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
 		}
 		files = append(files, f)
+		srcs = append(srcs, path)
 	}
 	info := NewInfo()
 	conf := types.Config{Importer: imp}
@@ -120,12 +135,16 @@ func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
 	}
 	return &Package{
-		PkgPath: lp.ImportPath,
-		Dir:     lp.Dir,
-		Fset:    fset,
-		Files:   files,
-		Types:   tpkg,
-		Info:    info,
+		PkgPath:  lp.ImportPath,
+		Dir:      lp.Dir,
+		Fset:     fset,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+		SrcFiles: srcs,
+		Export:   lp.Export,
+		Imports:  lp.Imports,
+		DepOnly:  lp.DepOnly,
 	}, nil
 }
 

@@ -1,17 +1,27 @@
 // Package nondeterm flags nondeterminism entering result-affecting code:
-// wall clocks, global randomness, the process environment, and map
-// iteration whose order can reach an output, hash, or serialization sink.
+// wall clocks, global randomness, the environment, and map iteration whose
+// order can reach an output, hash, or serialization sink.
 //
 // Everything this repo publishes — Table 1 bytes identical across
 // serial/parallel/distributed/checkpointed execution — depends on result
 // paths being pure functions of engine.Options. The runtime golden suites
 // prove that after the fact; this analyzer refuses the classic ways of
 // breaking it at compile time.
+//
+// The analyzer is interprocedural across the module: every package
+// (infrastructure included) is scanned for functions that reach a banned
+// call — directly, through same-package callees, or through a callee in an
+// already-analyzed module package — and each such function carries a
+// Nondeterministic fact. Infra packages may use clocks freely themselves,
+// but the moment a result-affecting package calls one of their tainted
+// helpers, the call site is a finding: the package boundary no longer
+// launders ambient state into results.
 package nondeterm
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"bopsim/internal/analysis"
 )
@@ -20,9 +30,26 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "nondeterm",
 	Doc: "forbid wall clocks, global rand, env vars and unsorted map iteration " +
-		"into sinks inside result-affecting packages",
-	Run: run,
+		"into sinks inside result-affecting packages, following calls across packages",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Nondeterministic)(nil)},
 }
+
+// Nondeterministic is exported on every function that reaches a banned
+// ambient-state call, so importing packages see the taint at their call
+// sites.
+type Nondeterministic struct {
+	// Path is the call chain from this function down to the ambient-state
+	// read, innermost call last (e.g. ["bopsim/internal/fleet.stamp",
+	// "time.Now"]). Capped; the root cause is always the last element.
+	Path []string
+}
+
+// AFact marks Nondeterministic as a fact type.
+func (*Nondeterministic) AFact() {}
+
+// maxPathLen caps the reported chain; deep chains elide the middle.
+const maxPathLen = 4
 
 // bannedFuncs maps defining package path -> function name -> what to say.
 // Methods are exempt (a *rand.Rand seeded from Options is deterministic);
@@ -45,40 +72,165 @@ var bannedFuncs = map[string]map[string]string{
 // internal/rng) are the sanctioned alternative.
 var globalRandPackages = map[string]bool{"math/rand": true, "math/rand/v2": true}
 
+// taint records why one declared function is nondeterministic.
+type taint struct {
+	path []string // chain down to the ambient read, innermost last
+}
+
 func run(pass *analysis.Pass) error {
-	if !analysis.ResultAffecting(pass.Pkg.Path()) {
-		return nil
-	}
+	reporting := analysis.ResultAffecting(pass.Pkg.Path())
+
+	// Index this package's function declarations in file order, so the
+	// taint fixpoint (and therefore fact contents and messages) is
+	// deterministic.
+	var decls []*ast.FuncDecl
+	byFunc := make(map[*types.Func]*ast.FuncDecl)
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkCall(pass, n)
-			case *ast.RangeStmt:
-				checkMapRange(pass, file, n)
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					byFunc[fn] = fd
+				}
+			}
+		}
+	}
+
+	// Seed taint from direct banned calls and from cross-package callees
+	// that carry the fact; record same-package call edges for propagation.
+	taints := make(map[*ast.FuncDecl]*taint)
+	callees := make(map[*ast.FuncDecl][]*ast.FuncDecl)
+	for _, fd := range decls {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.FuncFor(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if what, why := bannedCall(fn); what != "" {
+				if reporting {
+					pass.Reportf(call.Pos(), "call to %s in result-affecting package: %s", what, why)
+				}
+				if !pass.Allowed(call.Pos()) {
+					addTaint(taints, fd, []string{what})
+				}
+				return true
+			}
+			if local, ok := byFunc[fn]; ok {
+				callees[fd] = append(callees[fd], local)
+				return true
+			}
+			if fn.Pkg() == pass.Pkg || !analysis.ModulePackage(fn.Pkg().Path()) {
+				return true
+			}
+			var fact Nondeterministic
+			if pass.ImportObjectFact(fn, &fact) {
+				path := prepend(qualifiedName(fn), fact.Path)
+				if reporting {
+					pass.Reportf(call.Pos(), "call to %s in result-affecting package reaches %s (via %s)",
+						qualifiedName(fn), root(path), strings.Join(path[:len(path)-1], " -> "))
+				}
+				if !pass.Allowed(call.Pos()) {
+					addTaint(taints, fd, path)
+				}
 			}
 			return true
 		})
 	}
+
+	// Intra-package propagation to a fixpoint: a caller of a tainted
+	// function is tainted. First assignment wins, and iteration is in
+	// declaration order, so the chains are stable.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if taints[fd] != nil {
+				continue
+			}
+			for _, callee := range callees[fd] {
+				if t := taints[callee]; t != nil {
+					addTaint(taints, fd, prepend(declName(pass, callee), t.path))
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Export facts so importing packages see the taint. Unexported
+	// functions are included for uniformity; only objects visible through
+	// export data can be referenced downstream anyway.
+	for _, fd := range decls {
+		t := taints[fd]
+		if t == nil {
+			continue
+		}
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			pass.ExportObjectFact(fn, &Nondeterministic{Path: t.path})
+		}
+	}
+
+	if reporting {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if rng, ok := n.(*ast.RangeStmt); ok {
+					checkMapRange(pass, file, rng)
+				}
+				return true
+			})
+		}
+	}
 	return nil
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
-	fn := funcFor(pass, call)
-	if fn == nil || fn.Pkg() == nil {
-		return
-	}
+// bannedCall classifies a direct call to an ambient-state entry point.
+func bannedCall(fn *types.Func) (what, why string) {
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		return // methods on locally seeded values are fine
+		return "", "" // methods on locally seeded values are fine
 	}
 	path, name := fn.Pkg().Path(), fn.Name()
 	if why, ok := bannedFuncs[path][name]; ok {
-		pass.Reportf(call.Pos(), "call to %s.%s in result-affecting package: %s", path, name, why)
-		return
+		return path + "." + name, why
 	}
 	if globalRandPackages[path] {
-		pass.Reportf(call.Pos(), "call to %s.%s uses the global random source; derive a seeded source from engine.Options instead", path, name)
+		return path + "." + name, "uses the global random source; derive a seeded source from engine.Options instead"
 	}
+	return "", ""
+}
+
+func addTaint(taints map[*ast.FuncDecl]*taint, fd *ast.FuncDecl, path []string) {
+	if taints[fd] == nil {
+		taints[fd] = &taint{path: path}
+	}
+}
+
+// prepend builds a chain with hop first, eliding the middle beyond
+// maxPathLen while always preserving the root cause at the end.
+func prepend(hop string, rest []string) []string {
+	path := append([]string{hop}, rest...)
+	if len(path) > maxPathLen {
+		elided := append([]string{}, path[:maxPathLen-2]...)
+		elided = append(elided, "...", path[len(path)-1])
+		return elided
+	}
+	return path
+}
+
+func root(path []string) string { return path[len(path)-1] }
+
+func qualifiedName(fn *types.Func) string {
+	return fn.Pkg().Path() + "." + analysis.ObjectKey(fn)
+}
+
+func declName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		return qualifiedName(fn)
+	}
+	return fd.Name.Name
 }
 
 // checkMapRange flags `for ... := range m` over a map when the loop body

@@ -1,0 +1,24 @@
+// Package cpu is the importing half of the cross-package taint fixture: the
+// nondeterminism it launders through trace.Reseed is invisible to any
+// single-package analysis and reaches here only via the fact file.
+package cpu
+
+import "bopsim/internal/trace"
+
+// Step calls a tainted function from another module package; the finding
+// names the full call path back to the ambient source.
+func Step() int64 {
+	return trace.Reseed() // want `call to bopsim/internal/trace.Reseed in result-affecting package reaches time.Now`
+}
+
+// Clean calls an untainted import: no finding.
+func Clean() int64 {
+	return trace.Pure(7)
+}
+
+// Allowed documents a justified cross-package exception: the directive
+// suppresses the imported-taint finding exactly like a local one.
+func Allowed() int64 {
+	//bovet:allow nondeterm fixture: proves imported taint can be excused with a reason
+	return trace.Reseed()
+}

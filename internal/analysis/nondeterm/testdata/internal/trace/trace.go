@@ -1,0 +1,15 @@
+// Package trace is the dependency half of the cross-package taint fixture:
+// Reseed is tainted here, and the importing cpu package sees that only
+// through the Nondeterministic object fact exported from this package.
+package trace
+
+import "time"
+
+// Reseed samples the wall clock, so it is flagged locally and exported as
+// tainted for importers.
+func Reseed() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in result-affecting package`
+}
+
+// Pure is exported and clean: importers calling it get no finding.
+func Pure(x int64) int64 { return x * 3 }

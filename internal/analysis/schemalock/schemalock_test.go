@@ -1,0 +1,76 @@
+package schemalock_test
+
+import (
+	"strings"
+	"testing"
+
+	"bopsim/internal/analysis/analysistest"
+	"bopsim/internal/analysis/schemalock"
+)
+
+// fixtureLock plays the role of a lock cut from a slightly older tree: one
+// section matching testdata exactly (snapshot), one behind it (drifted,
+// excused), one stale (gone), and a version header ahead of the source
+// constant. The types the fixtures still govern but the lock never saw
+// (unlocked) and the cross-package closure (wide → trace) complete the
+// matrix.
+const fixtureLock = `# fixture lock
+snapshot-version 3
+
+[bopsim/internal/engine.drifted]
+Kept int
+
+[bopsim/internal/engine.excused]
+Changed int
+
+[bopsim/internal/engine.gone]
+X int
+
+[bopsim/internal/engine.snapshot]
+Version int
+Cycles uint64
+
+[bopsim/internal/engine.wide]
+Gen bopsim/internal/trace.GenState
+Bad bopsim/internal/trace.Unlocked
+
+[bopsim/internal/trace.GenState]
+Seed uint64
+`
+
+func TestSchemalock(t *testing.T) {
+	defer schemalock.OverrideLockForTest(fixtureLock)()
+	analysistest.Run(t, "testdata", schemalock.Analyzer)
+}
+
+// TestCheckBumpRefusesUnbumpedRegen pins the generator half of the
+// enforcement: a domain whose sections changed while its version constant
+// stayed put cannot be regenerated over.
+func TestCheckBumpRefusesUnbumpedRegen(t *testing.T) {
+	c := schemalock.NewCollector()
+	c.Sections["bopsim/internal/engine.snapshot"] = []string{"Version int", "Cycles uint64", "Extra bool"}
+	c.Versions["snapshot-version"] = 3
+
+	old := "snapshot-version 3\n\n[bopsim/internal/engine.snapshot]\nVersion int\nCycles uint64\n"
+	err := c.CheckBump([]byte(old))
+	if err == nil {
+		t.Fatal("regeneration accepted without a version bump")
+	}
+	if !strings.Contains(err.Error(), "snapshot-version sections changed") || !strings.Contains(err.Error(), "bump the version constant") {
+		t.Errorf("refusal does not name the unbumped domain: %v", err)
+	}
+
+	// Bumping the constant unblocks the same regeneration.
+	c.Versions["snapshot-version"] = 4
+	if err := c.CheckBump([]byte(old)); err != nil {
+		t.Errorf("regeneration refused after the bump: %v", err)
+	}
+
+	// An unchanged domain never needs a bump.
+	same := schemalock.NewCollector()
+	same.Sections["bopsim/internal/engine.snapshot"] = []string{"Version int", "Cycles uint64"}
+	same.Versions["snapshot-version"] = 3
+	if err := same.CheckBump([]byte(old)); err != nil {
+		t.Errorf("identical regeneration refused: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module bopsim
+
+go 1.22

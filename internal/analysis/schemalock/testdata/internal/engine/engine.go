@@ -1,0 +1,51 @@
+// Package engine is the schemalock fixture: one governed type per failure
+// mode, one clean type, one excused drift, checked against the fixture lock
+// in schemalock_test.go (which also records a stale engine.gone section).
+package engine // want `schema.lock records bopsim/internal/engine.gone, which is no longer a governed serialized type`
+
+import "bopsim/internal/trace"
+
+// SnapshotVersion lags the lock header (3): the forgotten-bump failure
+// mode, caught at the constant's declaration.
+const SnapshotVersion = 2 // want `schema.lock was generated for SnapshotVersion = 3 but source declares 2`
+
+// snapshot matches its lock section exactly: no finding.
+//
+//bovet:schemalock
+type snapshot struct {
+	Version int
+	Cycles  uint64
+}
+
+// drifted gained a field since the lock was cut.
+//
+//bovet:schemalock
+type drifted struct { // want `serialized layout of drifted differs from schema.lock \(added or changed: Added\)`
+	Kept  int
+	Added string
+}
+
+// unlocked is governed but was never recorded.
+//
+//bovet:schemalock
+type unlocked struct { // want `serialized layout of unlocked is not recorded in schema.lock`
+	X int
+}
+
+// wide reaches across packages: GenState is locked in trace (validated via
+// its LockedSet fact), Unlocked is not.
+//
+//bovet:schemalock
+type wide struct { // want `serialized field references bopsim/internal/trace.Unlocked, which is not schema-locked in its package`
+	Gen trace.GenState
+	Bad trace.Unlocked
+}
+
+// excused drifts (the lock says Changed int), but the drift is explicitly
+// allowed.
+//
+//bovet:schemalock
+//bovet:allow schemalock fixture: proves layout drift can be explicitly excused
+type excused struct {
+	Changed float64
+}

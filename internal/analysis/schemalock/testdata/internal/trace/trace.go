@@ -1,0 +1,18 @@
+// Package trace is the dependency half of the schemalock cross-package
+// fixture: GenState is locked here and consumed by engine.wide through the
+// LockedSet fact; Unlocked deliberately is not locked.
+package trace
+
+// GenState matches its lock section: clean, and its membership in this
+// package's LockedSet is what lets engine embed it.
+//
+//bovet:schemalock
+type GenState struct {
+	Seed uint64
+}
+
+// Unlocked is referenced by engine.wide without being governed here — the
+// finding appears in engine, where the reference is.
+type Unlocked struct {
+	N int
+}

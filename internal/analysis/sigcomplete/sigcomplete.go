@@ -1,0 +1,287 @@
+// Package sigcomplete closes the two identity loopholes a new
+// engine.Options field can open.
+//
+// Every run's identity is derived from Options twice: the experiments
+// result cache keys runs by OptionsHash — a SHA-256 over the JSON encoding
+// of the whole normalized Options — and warmup checkpoints are shared
+// between runs whose WarmupSignature matches. Both derivations are only
+// sound if they see every outcome-affecting field. A field that is
+// unexported or tagged `json:"-"` is invisible to OptionsHash: two runs
+// differing only in it get the same cache key, and the second silently
+// returns the first's result. A field that WarmupSignature never reads
+// lets two differently-warmed runs share one checkpoint. Neither failure
+// is loud — the simulation runs fine, the numbers are just subtly wrong —
+// which is exactly the kind of invariant that belongs to a build-failing
+// analyzer rather than code review.
+//
+// Checks, in the engine package:
+//
+//   - every Options field must be JSON-visible (exported, not `json:"-"`);
+//   - every Options field must be read in the WarmupSignature method body
+//     (directly off the receiver — reads hidden inside Normalized don't
+//     count, since Normalized touching a field does not put it in the
+//     signature). Post-barrier knobs that genuinely do not shape warmup
+//     state (Instructions, MaxCycles) carry //bovet:allow sigcomplete with
+//     the justification on their declaration line.
+//
+// And in the experiments package, via the HashSurface fact exported from
+// engine: OptionsHash must marshal a value that embeds the whole
+// engine.Options. Hashing a hand-copied projection would reintroduce the
+// loophole one field at a time, so the projection itself is the finding.
+package sigcomplete
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"bopsim/internal/analysis"
+)
+
+// Analyzer is the sigcomplete pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "sigcomplete",
+	Doc:       "every outcome-affecting engine.Options field must reach OptionsHash (JSON-visible) and WarmupSignature (read, or justified as post-barrier)",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*HashSurface)(nil)},
+}
+
+// HashSurface is exported by the engine package: the JSON-visible field
+// names of Options, i.e. what OptionsHash can possibly see. The
+// experiments-side check uses its presence (and size, in messages) when
+// verifying that OptionsHash hashes the whole struct.
+type HashSurface struct {
+	Fields []string
+}
+
+// AFact marks HashSurface as a fact type.
+func (*HashSurface) AFact() {}
+
+const (
+	enginePath      = "bopsim/internal/engine"
+	experimentsPath = "bopsim/internal/experiments"
+)
+
+func run(pass *analysis.Pass) error {
+	switch pass.Pkg.Path() {
+	case enginePath:
+		checkEngine(pass)
+	case experimentsPath:
+		checkExperiments(pass)
+	}
+	return nil
+}
+
+// checkEngine validates the Options struct itself and its WarmupSignature
+// coverage, and exports the hash surface for the experiments-side check.
+func checkEngine(pass *analysis.Pass) {
+	spec := findTypeSpec(pass, "Options")
+	if spec == nil {
+		return
+	}
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+
+	read := warmupSignatureReads(pass)
+	var surface []string
+	for _, field := range st.Fields.List {
+		tag := fieldTag(field)
+		jsonName, visible := jsonVisibility(tag)
+		for _, name := range field.Names {
+			if !name.IsExported() || !visible {
+				if !pass.Allowed(name.Pos()) {
+					pass.Reportf(name.Pos(), "Options.%s is invisible to experiments.OptionsHash (%s); two runs differing in it would share a cache key and the second would silently return the first's result",
+						name.Name, invisibleWhy(name, visible))
+				}
+				continue
+			}
+			if jsonName != "" {
+				surface = append(surface, jsonName)
+			} else {
+				surface = append(surface, name.Name)
+			}
+			if read != nil && !read[name.Name] && !pass.Allowed(name.Pos()) {
+				pass.Reportf(name.Pos(), "Options.%s is never read in WarmupSignature; two runs differing in it would share a warmup checkpoint — read it there, or annotate the field //bovet:allow sigcomplete with why it cannot shape pre-barrier state",
+					name.Name)
+			}
+		}
+	}
+	sort.Strings(surface)
+	pass.ExportPackageFact(&HashSurface{Fields: surface})
+}
+
+func invisibleWhy(name *ast.Ident, visible bool) string {
+	if !name.IsExported() {
+		return "unexported"
+	}
+	if !visible {
+		return `tagged json:"-"`
+	}
+	return "hidden"
+}
+
+// warmupSignatureReads returns the Options fields selected directly off the
+// WarmupSignature receiver, or nil when the method does not exist (then
+// only the visibility check applies — the fixture and early-bootstrap
+// case).
+func warmupSignatureReads(pass *analysis.Pass) map[string]bool {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "WarmupSignature" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) != 1 {
+				return map[string]bool{}
+			}
+			recv := pass.TypesInfo.Defs[names[0]]
+			read := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+					read[sel.Sel.Name] = true
+				}
+				return true
+			})
+			return read
+		}
+	}
+	return nil
+}
+
+// checkExperiments verifies OptionsHash marshals the whole engine.Options.
+func checkExperiments(pass *analysis.Pass) {
+	var surface HashSurface
+	hasSurface := pass.ImportPackageFact(enginePath, &surface)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "OptionsHash" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			if marshalsWholeOptions(pass, fd) {
+				return
+			}
+			n := ""
+			if hasSurface {
+				n = " all " + itoa(len(surface.Fields)) + " JSON-visible fields of"
+			}
+			pass.Reportf(fd.Name.Pos(), "OptionsHash must marshal a value embedding the whole engine.Options so%s the options surface reach the cache key; hashing a projection drops outcome-affecting fields silently", n)
+			return
+		}
+	}
+}
+
+// marshalsWholeOptions reports whether some json.Marshal call in the
+// function hashes a value that is, or structurally contains, engine.Options.
+func marshalsWholeOptions(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := analysis.FuncFor(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" || !strings.HasPrefix(fn.Name(), "Marshal") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if containsOptions(pass.TypesInfo.TypeOf(arg), 0) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsOptions walks struct fields (through pointers) looking for the
+// engine.Options type.
+func containsOptions(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		return containsOptions(p.Elem(), depth)
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == enginePath && obj.Name() == "Options" {
+			return true
+		}
+		t = named.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if containsOptions(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+func findTypeSpec(pass *analysis.Pass, name string) *ast.TypeSpec {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+					return ts
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func fieldTag(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	// The literal includes its backquotes; Unquote via reflect.StructTag
+	// after trimming.
+	return strings.Trim(field.Tag.Value, "`")
+}
+
+// jsonVisibility interprets a struct tag the way encoding/json does:
+// returns the effective name ("" = field name) and whether the field is
+// encoded at all.
+func jsonVisibility(tag string) (name string, visible bool) {
+	jt, ok := reflect.StructTag(tag).Lookup("json")
+	if !ok {
+		return "", true
+	}
+	base, _, _ := strings.Cut(jt, ",")
+	if base == "-" && jt == "-" {
+		return "", false
+	}
+	return base, true
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

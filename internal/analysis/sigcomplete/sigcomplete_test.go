@@ -1,0 +1,19 @@
+package sigcomplete_test
+
+import (
+	"testing"
+
+	"bopsim/internal/analysis/analysistest"
+	"bopsim/internal/analysis/sigcomplete"
+)
+
+func TestSigcomplete(t *testing.T) {
+	analysistest.Run(t, "testdata", sigcomplete.Analyzer)
+}
+
+// TestSigcompleteClean runs the analyzer over a fixture tree with no
+// violations: a complete WarmupSignature and an OptionsHash that marshals
+// the whole Options produce zero findings.
+func TestSigcompleteClean(t *testing.T) {
+	analysistest.Run(t, "testdata/clean", sigcomplete.Analyzer)
+}

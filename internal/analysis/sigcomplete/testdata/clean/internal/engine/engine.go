@@ -1,0 +1,12 @@
+// Package engine is the clean half of the sigcomplete fixture: every field
+// is JSON-visible and read in WarmupSignature, so nothing is reported.
+package engine
+
+// Options has a renamed-but-visible field and a plain one.
+type Options struct {
+	Seed  uint64
+	Width int `json:"width"`
+}
+
+// WarmupSignature reads every field off the receiver.
+func (o Options) WarmupSignature() uint64 { return o.Seed + uint64(o.Width) }

@@ -1,0 +1,21 @@
+// Package experiments hashes a value embedding the whole engine.Options —
+// the sanctioned shape; nothing is reported.
+package experiments
+
+import (
+	"encoding/json"
+
+	"bopsim/internal/engine"
+)
+
+// keyed is the version-plus-options envelope the real cache key uses.
+type keyed struct {
+	Version int
+	Options engine.Options
+}
+
+// OptionsHash feeds the entire Options through the marshal.
+func OptionsHash(o engine.Options) []byte {
+	b, _ := json.Marshal(keyed{Version: 1, Options: o})
+	return b
+}

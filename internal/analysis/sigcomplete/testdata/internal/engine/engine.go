@@ -1,0 +1,17 @@
+// Package engine is the violation half of the sigcomplete fixture: one
+// Options field per way of dodging the cache key or the warmup signature.
+package engine
+
+// Options mirrors the real engine.Options shape; WarmupSignature below
+// reads only Seed.
+type Options struct {
+	Seed    uint64
+	hidden  int    // want `Options.hidden is invisible to experiments.OptionsHash \(unexported\)`
+	Skipped bool   `json:"-"` // want `Options.Skipped is invisible to experiments.OptionsHash`
+	Missing uint64 // want `Options.Missing is never read in WarmupSignature`
+	//bovet:allow sigcomplete fixture: proves a justified post-barrier knob is not a finding
+	Excused uint64
+}
+
+// WarmupSignature reads Seed directly off the receiver and nothing else.
+func (o Options) WarmupSignature() uint64 { return o.Seed + uint64(o.hidden) }

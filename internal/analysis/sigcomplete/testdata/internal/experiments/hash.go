@@ -1,0 +1,16 @@
+// Package experiments hashes a hand-copied projection of Options — the
+// loophole sigcomplete exists to close. The field count in the finding
+// comes from the HashSurface fact the engine package exported.
+package experiments
+
+import (
+	"encoding/json"
+
+	"bopsim/internal/engine"
+)
+
+// OptionsHash drops every field but Seed from the cache key.
+func OptionsHash(o engine.Options) []byte { // want `OptionsHash must marshal a value embedding the whole engine.Options so all 3 JSON-visible fields`
+	b, _ := json.Marshal(struct{ Seed uint64 }{o.Seed})
+	return b
+}

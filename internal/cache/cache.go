@@ -153,6 +153,7 @@ func (c *Cache) Insert(l mem.LineAddr, info InsertInfo) (evicted Line) {
 	if way < 0 {
 		way = c.policy.Victim(set)
 		if way < 0 || way >= c.ways {
+			//bovet:allow hotalloc panic path for a broken replacement policy; never taken in a correct run
 			panic(fmt.Sprintf("cache %s: policy %s returned bad victim %d", c.name, c.policy.Name(), way))
 		}
 		evicted = *c.line(set, way)

@@ -240,6 +240,8 @@ func (p *Prefetcher) endPhase() {
 // the RR table (if Y and Y-D share a page; otherwise the base address is
 // unknown, footnote 2). When prefetch is off, every fetched line Y writes Y
 // itself (D=0 insertion), so learning keeps running.
+//
+//bovet:hotpath
 func (p *Prefetcher) OnFill(y mem.LineAddr, wasPrefetch bool) {
 	if p.params.InsertRRAtIssue && p.on {
 		return // ablation: insertions already happened at issue time

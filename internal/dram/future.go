@@ -52,6 +52,7 @@ type Arena struct {
 // Pending returns an unresolved future carved from the arena.
 func (a *Arena) Pending() *Future {
 	if len(a.slab) == 0 {
+		//bovet:allow hotalloc one slab allocation is amortized over arenaSlab requests; that is the arena's whole point
 		a.slab = make([]Future, arenaSlab)
 	}
 	f := &a.slab[0]

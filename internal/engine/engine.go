@@ -37,6 +37,8 @@ import (
 // "use the baseline default"; Normalized resolves them, and anything keying
 // a result cache must hash the normalized form so equivalent spellings of
 // the same run share an entry.
+//
+//bovet:schemalock
 type Options struct {
 	// Workloads holds one generator spec per core, resolved through the
 	// workload registry (see internal/trace's Spec and Register): entry i
@@ -60,13 +62,16 @@ type Options struct {
 	// L1PF selects the DL1 prefetcher the same way. The zero spec means
 	// the baseline stride prefetcher; "none" disables DL1 prefetching
 	// (Figure 4's ablation).
-	L1PF         prefetch.Spec
-	L3Policy     string // "5P" (default), "LRU", "DRRIP"
-	LatePromote  bool
+	L1PF        prefetch.Spec
+	L3Policy    string // "5P" (default), "LRU", "DRRIP"
+	LatePromote bool
+	//bovet:allow sigcomplete post-barrier knob: the measured-region length cannot shape state warmed before the barrier
 	Instructions uint64 // retired instructions on core 0
 	Seed         uint64
 	CPU          cpu.Config
 	// MaxCycles aborts a wedged simulation; 0 means a generous default.
+	//
+	//bovet:allow sigcomplete post-barrier knob: the abort ceiling only ends a run, it cannot shape pre-barrier state
 	MaxCycles uint64
 
 	// Warmup, when non-zero, prepends a warmup region to the run: core 0
@@ -190,6 +195,8 @@ func (o Options) Normalized() Options {
 }
 
 // Result carries the measurements of one run.
+//
+//bovet:schemalock
 type Result struct {
 	Workload     string
 	IPC          float64

@@ -66,6 +66,8 @@ func optionsKey(o sim.Options) string { return OptionsHash(o) }
 // options so a human (or a migration tool) can see what produced it. It
 // doubles as the wire format a distrib worker returns a finished job in —
 // the coordinator writes received entries straight into this cache.
+//
+//bovet:schemalock
 type CacheEntry struct {
 	Version int         `json:"version"`
 	Options sim.Options `json:"options"`

@@ -189,6 +189,8 @@ func (p *Prefetcher) endWindow() {
 
 // OnFill implements prefetch.L2Prefetcher; the audit works on the access
 // stream alone.
+//
+//bovet:hotpath
 func (p *Prefetcher) OnFill(mem.LineAddr, bool) {}
 
 // recentHit checks the direct-mapped recent-access table for line.

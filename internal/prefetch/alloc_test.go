@@ -1,0 +1,28 @@
+package prefetch
+
+import (
+	"testing"
+
+	"bopsim/internal/mem"
+)
+
+// TestFixedOffsetZeroAlloc pins the baseline next-line prefetcher's
+// hot-path cost: the scratch buffer makes OnAccess allocation-free, and
+// OnFill is a no-op. Guards the //bovet:hotpath roots with a runtime
+// witness.
+func TestFixedOffsetZeroAlloc(t *testing.T) {
+	p := NewNextLine(mem.Page4M)
+	line := mem.LineAddr(0)
+	step := func() {
+		for _, tgt := range p.OnAccess(AccessInfo{Line: line}) {
+			p.OnFill(tgt, true)
+		}
+		line = (line + 3) % (1 << 20)
+	}
+	for i := 0; i < 10_000; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(5000, step); avg != 0 {
+		t.Errorf("steady-state OnAccess+OnFill allocates %.3f objects/op, want 0", avg)
+	}
+}

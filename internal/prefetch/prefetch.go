@@ -77,6 +77,8 @@ func (None) Name() string { return "none" }
 func (None) OnAccess(AccessInfo) []mem.LineAddr { return nil }
 
 // OnFill implements L2Prefetcher.
+//
+//bovet:hotpath
 func (None) OnFill(mem.LineAddr, bool) {}
 
 // FixedOffset prefetches X+D on every eligible access, D constant. D=1 is
@@ -127,6 +129,8 @@ func (p *FixedOffset) OnAccess(a AccessInfo) []mem.LineAddr {
 }
 
 // OnFill implements L2Prefetcher.
+//
+//bovet:hotpath
 func (p *FixedOffset) OnFill(mem.LineAddr, bool) {}
 
 func itoa(v int) string {

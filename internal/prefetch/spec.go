@@ -21,6 +21,8 @@ import (
 // whitespace (lists use '+' as separator, e.g. "offsets=1+2+8"). String
 // renders keys sorted, so the canonical form — and anything hashed from it
 // — is deterministic.
+//
+//bovet:schemalock
 type Spec struct {
 	Name   string            `json:"name"`
 	Params map[string]string `json:"params,omitempty"`

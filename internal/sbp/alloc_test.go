@@ -1,0 +1,29 @@
+package sbp
+
+import (
+	"testing"
+
+	"bopsim/internal/mem"
+	"bopsim/internal/prefetch"
+)
+
+// TestSteadyStateZeroAlloc pins SBP's hot-path cost: once the sandbox and
+// candidate tables exist, accesses and fills allocate nothing. Guards the
+// //bovet:hotpath roots on OnAccess/OnFill with a runtime witness.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	p := New(mem.Page4M, DefaultParams())
+	line := mem.LineAddr(0)
+	step := func() {
+		targets := p.OnAccess(prefetch.AccessInfo{Line: line})
+		for _, tgt := range targets {
+			p.OnFill(tgt, true)
+		}
+		line = (line + 17) % (1 << 20)
+	}
+	for i := 0; i < 10_000; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(5000, step); avg != 0 {
+		t.Errorf("steady-state OnAccess+OnFill allocates %.3f objects/op, want 0", avg)
+	}
+}

@@ -213,4 +213,6 @@ func (p *Prefetcher) issue(x mem.LineAddr) []mem.LineAddr {
 
 // OnFill implements prefetch.L2Prefetcher; SBP learns only from its
 // sandbox, not from fills.
+//
+//bovet:hotpath
 func (p *Prefetcher) OnFill(mem.LineAddr, bool) {}

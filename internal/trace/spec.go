@@ -23,6 +23,8 @@ import (
 // or whitespace (lists use '+' as separator, e.g. "weights=2+1"; ';'
 // separates per-core specs at the CLI). String renders keys sorted, so the
 // canonical form — and anything hashed from it — is deterministic.
+//
+//bovet:schemalock
 type Spec struct {
 	Name   string            `json:"name"`
 	Params map[string]string `json:"params,omitempty"`

@@ -139,7 +139,6 @@ func (q *fillQueue) len() int   { return len(q.entries) }
 // push appends e; the caller must have checked full().
 func (q *fillQueue) push(e *fillEntry) {
 	if q.full() {
-		//bovet:allow hotalloc unreachable guard: callers check full() first, and a constant panic argument is static data
 		panic("uncore: fill queue overflow")
 	}
 	q.entries = append(q.entries, e)
